@@ -1,0 +1,43 @@
+# Developer entry points. Everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race short cover bench repro fuzz fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -short -cover ./...
+
+# Regenerate every paper table/figure plus ablations (minutes).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Same via the CLI harness, with CSV artifacts.
+repro:
+	$(GO) run ./cmd/frame-bench -exp all -csv artifacts
+
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz FuzzParseTopics -fuzztime 30s ./internal/spec/
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -rf artifacts test_output.txt bench_output.txt

@@ -1,0 +1,104 @@
+// Command frame-admit runs FRAME's admission test (§III-D-1) over a topic
+// specification and prints, per topic: the dispatch deadline Dd (Lemma 2),
+// the replication deadline Dr (Lemma 1), the Proposition 1 replication
+// verdict, the minimum admissible retention Ni, and whether the topic is
+// admissible at all.
+//
+// With no -topics file it analyzes the paper's Table 2 categories,
+// reproducing the §III-D-2 worked example.
+//
+// Usage:
+//
+//	frame-admit [-topics file] [-bs-edge 1ms] [-bs-cloud 20ms] [-bb 50us] [-x 50ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	frame "repro"
+	"repro/internal/spec"
+	"repro/internal/timing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "frame-admit:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		topicsPath = flag.String("topics", "", "topic spec file (default: paper Table 2)")
+		bsEdge     = flag.Duration("bs-edge", time.Millisecond, "ΔBS for edge subscribers")
+		bsCloud    = flag.Duration("bs-cloud", 20*time.Millisecond, "ΔBS for cloud subscribers (use a measured lower bound)")
+		bb         = flag.Duration("bb", 50*time.Microsecond, "ΔBB broker→backup latency")
+		x          = flag.Duration("x", 50*time.Millisecond, "publisher fail-over time x")
+		pb         = flag.Duration("pb", 0, "ΔPB publisher→broker latency")
+	)
+	flag.Parse()
+
+	params := frame.Params{
+		DeltaPB:      *pb,
+		DeltaBSEdge:  *bsEdge,
+		DeltaBSCloud: *bsCloud,
+		DeltaBB:      *bb,
+		Failover:     *x,
+	}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+
+	var topics []frame.Topic
+	if *topicsPath == "" {
+		for i, c := range frame.Table2() {
+			topics = append(topics, c.Stamp(frame.TopicID(i), spec.PayloadSize))
+		}
+	} else {
+		f, err := os.Open(*topicsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		topics, err = spec.ParseTopics(f)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("params: ΔPB=%v ΔBS(edge)=%v ΔBS(cloud)=%v ΔBB=%v x=%v\n\n",
+		params.DeltaPB, params.DeltaBSEdge, params.DeltaBSCloud, params.DeltaBB, params.Failover)
+	fmt.Printf("%-6s %8s %8s %5s %4s %6s | %10s %10s %-9s %6s %s\n",
+		"topic", "Ti", "Di", "Li", "Ni", "dest", "Dd", "Dr", "replicate", "minNi", "admission")
+	for _, t := range topics {
+		b := frame.ComputeBounds(t, params)
+		dr := "inf"
+		if b.Replication != frame.NoDeadline {
+			dr = fmtMs(b.Replication)
+		}
+		li := fmt.Sprintf("%d", t.LossTolerance)
+		if t.BestEffort() {
+			li = "inf"
+		}
+		verdict := "no (Prop.1)"
+		if b.Replicate {
+			verdict = "yes"
+		}
+		admission := "OK"
+		if err := frame.Admissible(t, params); err != nil {
+			admission = "REJECTED"
+		}
+		fmt.Printf("%-6d %8s %8s %5s %4d %6s | %10s %10s %-9s %6d %s\n",
+			t.ID, fmtMs(t.Period), fmtMs(t.Deadline), li, t.Retention,
+			t.Destination, fmtMs(b.Dispatch), dr, verdict,
+			timing.MinRetention(t, params), admission)
+	}
+	return nil
+}
+
+func fmtMs(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}

@@ -1,0 +1,119 @@
+// Command frame-bench regenerates the FRAME paper's evaluation (§VI) from
+// the simulated test-bed: Tables 4 and 5, and Figures 7, 8, and 9.
+//
+// Usage:
+//
+//	frame-bench -exp all                # everything (minutes)
+//	frame-bench -exp table4 -runs 10    # one experiment, paper-scale reps
+//	frame-bench -exp fig9 -crash 20s    # longer crash window
+//
+// Scale note: defaults are laptop-sized (3 runs, seconds-long windows);
+// the paper used 10 runs × 60 s. Overloaded configurations (FCFS at ≥7525
+// topics) score higher here than in the paper because a shorter window
+// bounds how far an unstable queue grows; all orderings and crossover
+// points are preserved. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "frame-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table4, table5, fig7, fig8, fig9, multiedge, or all")
+		runs    = flag.Int("runs", 0, "repetitions per cell (default 5; paper used 10)")
+		measure = flag.Duration("measure", 0, "fault-free measurement window (default 4s; paper used 60s)")
+		crash   = flag.Duration("crash", 0, "crash-run window, crash at midpoint (default 8s)")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		quiet   = flag.Bool("quiet", false, "suppress per-run progress")
+		csvDir  = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Runs:         *runs,
+		Measure:      *measure,
+		CrashMeasure: *crash,
+		Seed:         *seed,
+	}
+	if !*quiet {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	type formatter interface {
+		Format() string
+		WriteCSV(io.Writer) error
+	}
+	type experiment struct {
+		name string
+		run  func() (formatter, error)
+	}
+	table := []experiment{
+		{"table4", func() (formatter, error) { return experiments.RunTable4(cfg) }},
+		{"table5", func() (formatter, error) { return experiments.RunTable5(cfg) }},
+		{"fig7", func() (formatter, error) { return experiments.RunFig7(cfg) }},
+		{"fig8", func() (formatter, error) { return experiments.RunFig8(cfg) }},
+		{"fig9", func() (formatter, error) { return experiments.RunFig9(cfg) }},
+		{"multiedge", func() (formatter, error) { return experiments.RunMultiEdge(cfg) }},
+	}
+
+	matched := false
+	for _, e := range table {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Printf("\n%s\n(regenerated in %v)\n", res.Format(), time.Since(start).Round(time.Second))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, e.name, res); err != nil {
+				return err
+			}
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown -exp %q (want table4, table5, fig7, fig8, fig9, multiedge, or all)", *exp)
+	}
+	return nil
+}
+
+// writeCSV stores one experiment's data under dir/<name>.csv.
+func writeCSV(dir, name string, res interface{ WriteCSV(io.Writer) error }) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}

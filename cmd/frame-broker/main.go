@@ -1,0 +1,134 @@
+// Command frame-broker runs one FRAME broker over TCP.
+//
+// A Primary/Backup pair is started as:
+//
+//	frame-broker -role backup  -listen :7402 -peer  localhost:7401 -topics topics.txt
+//	frame-broker -role primary -listen :7401 -peer  localhost:7402 -topics topics.txt
+//
+// The Backup polls the Primary and promotes itself on crash; publishers
+// started with cmd/frame-pub re-send their retained messages to it.
+// The -config flag selects the scheduling configuration: frame (EDF +
+// selective replication + coordination), fcfs, or fcfs- (§VI-A).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	frame "repro"
+	"repro/internal/spec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "frame-broker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		role       = flag.String("role", "primary", "broker role: primary or backup")
+		listen     = flag.String("listen", "127.0.0.1:7401", "listen address")
+		peer       = flag.String("peer", "", "peer broker address (backup for a primary, primary for a backup)")
+		topicsPath = flag.String("topics", "", "topic spec file (required)")
+		config     = flag.String("config", "frame", "scheduling configuration: frame, fcfs, or fcfs-")
+		workers    = flag.Int("workers", 0, "delivery worker threads (0 = 3×GOMAXPROCS, the paper's sizing)")
+		bsEdge     = flag.Duration("bs-edge", time.Millisecond, "ΔBS for edge subscribers")
+		bsCloud    = flag.Duration("bs-cloud", 20*time.Millisecond, "ΔBS for cloud subscribers")
+		bb         = flag.Duration("bb", 50*time.Microsecond, "ΔBB broker→backup latency")
+		x          = flag.Duration("x", 50*time.Millisecond, "publisher fail-over time x")
+		diskDir    = flag.String("disk", "", "backup role: also persist replicas to this directory (Table 1 'local disk' strategy)")
+		diskSync   = flag.Bool("disk-sync", false, "fsync every persisted replica (durable, slow)")
+	)
+	flag.Parse()
+
+	if *topicsPath == "" {
+		return fmt.Errorf("-topics is required")
+	}
+	f, err := os.Open(*topicsPath)
+	if err != nil {
+		return err
+	}
+	topics, err := spec.ParseTopics(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	params := frame.PaperParams()
+	params.DeltaBSEdge = *bsEdge
+	params.DeltaBSCloud = *bsCloud
+	params.DeltaBB = *bb
+	params.Failover = *x
+
+	var engine frame.CoreConfig
+	switch *config {
+	case "frame":
+		engine = frame.FRAMEConfig(params)
+	case "fcfs":
+		engine = frame.FCFSConfig(params)
+	case "fcfs-":
+		engine = frame.FCFSMinusConfig(params)
+	default:
+		return fmt.Errorf("unknown -config %q (want frame, fcfs, or fcfs-)", *config)
+	}
+
+	var brokerRole frame.BrokerRole
+	switch *role {
+	case "primary":
+		brokerRole = frame.RolePrimary
+	case "backup":
+		brokerRole = frame.RoleBackup
+	default:
+		return fmt.Errorf("unknown -role %q (want primary or backup)", *role)
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	opts := frame.BrokerOptions{
+		Engine:        engine,
+		Role:          brokerRole,
+		ListenAddr:    *listen,
+		PeerAddr:      *peer,
+		Network:       frame.NewTCPNetwork(2 * time.Second),
+		Clock:         frame.NewClock(),
+		Workers:       *workers,
+		Topics:        topics,
+		Logger:        logger,
+		DiskBackupDir: *diskDir,
+	}
+	if *diskSync {
+		opts.DiskSync = frame.DiskSyncAlways
+	}
+	b, err := frame.NewBroker(opts)
+	if err != nil {
+		return err
+	}
+	b.Start()
+	logger.Info("broker running", "addr", b.Addr(), "role", *role,
+		"config", *config, "topics", len(topics))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Info("shutting down", "signal", s.String())
+	case <-b.Promoted():
+		logger.Info("promoted to primary; continuing to serve")
+		<-sig
+	}
+	b.Stop()
+	stats := b.Stats()
+	logger.Info("final stats",
+		"published", stats.Published,
+		"dispatchJobs", stats.DispatchJobs,
+		"replicationJobs", stats.ReplicationJobs,
+		"prunesSent", stats.PrunesSent,
+		"recoveryJobs", stats.RecoveryJobs)
+	return nil
+}

@@ -1,0 +1,76 @@
+// Command frame-plan runs FRAME's capacity planner over a topic
+// specification: admission verdicts, Proposition 1 replication decisions,
+// and the §III-D-3 retention suggestions that trade a little publisher
+// memory for large replication savings (the FRAME+ manoeuvre), together
+// with the predicted Message Delivery CPU demand before and after.
+//
+// With no -topics file it plans the paper's Table 2 workload at the given
+// scale.
+//
+// Usage:
+//
+//	frame-plan [-topics file | -scale 7525] [-bs-cloud 20ms] [-x 50ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	frame "repro"
+	"repro/internal/plan"
+	"repro/internal/simcluster"
+	"repro/internal/spec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "frame-plan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		topicsPath = flag.String("topics", "", "topic spec file (default: paper workload at -scale)")
+		scale      = flag.Int("scale", 1525, "paper workload size when no -topics file is given")
+		bsEdge     = flag.Duration("bs-edge", time.Millisecond, "ΔBS for edge subscribers")
+		bsCloud    = flag.Duration("bs-cloud", 20*time.Millisecond, "ΔBS lower bound for cloud subscribers")
+		bb         = flag.Duration("bb", 50*time.Microsecond, "ΔBB broker→backup latency")
+		x          = flag.Duration("x", 50*time.Millisecond, "publisher fail-over time x")
+	)
+	flag.Parse()
+
+	params := frame.Params{
+		DeltaBSEdge:  *bsEdge,
+		DeltaBSCloud: *bsCloud,
+		DeltaBB:      *bb,
+		Failover:     *x,
+	}
+	var topics []frame.Topic
+	if *topicsPath != "" {
+		f, err := os.Open(*topicsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		topics, err = spec.ParseTopics(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		w, err := frame.NewWorkload(*scale)
+		if err != nil {
+			return err
+		}
+		topics = w.Topics
+	}
+
+	pl, err := plan.Build(topics, params, simcluster.DefaultCostModel())
+	if err != nil {
+		return err
+	}
+	fmt.Print(pl.Format())
+	return nil
+}

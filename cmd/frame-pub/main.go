@@ -1,0 +1,178 @@
+// Command frame-pub runs a FRAME publisher proxy over TCP: it owns a set
+// of topics, publishes one message per topic per period (batched like the
+// paper's sensor proxies), retains the Ni latest messages of each topic,
+// and fails over to the Backup — re-sending the retained messages — when
+// its detector declares the Primary dead.
+//
+// Usage:
+//
+//	frame-pub -primary localhost:7401 -backup localhost:7402 \
+//	          -topics topics.txt -duration 60s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	frame "repro"
+	"repro/internal/clocksync"
+	"repro/internal/spec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "frame-pub:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		primary    = flag.String("primary", "127.0.0.1:7401", "primary broker address")
+		backup     = flag.String("backup", "", "backup broker address (empty: no failover)")
+		topicsPath = flag.String("topics", "", "topic spec file (required)")
+		duration   = flag.Duration("duration", 60*time.Second, "how long to publish (0 = forever)")
+		name       = flag.String("name", "frame-pub", "publisher name")
+		payload    = flag.Int("payload", spec.PayloadSize, "payload bytes per message")
+	)
+	flag.Parse()
+	if *topicsPath == "" {
+		return fmt.Errorf("-topics is required")
+	}
+	f, err := os.Open(*topicsPath)
+	if err != nil {
+		return err
+	}
+	topics, err := spec.ParseTopics(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	network := frame.NewTCPNetwork(2 * time.Second)
+	clock, stopSync, err := syncedClock(network, *primary)
+	if err != nil {
+		return err
+	}
+	defer stopSync()
+	pub, err := frame.NewPublisher(frame.PublisherOptions{
+		Name:        *name,
+		Topics:      topics,
+		PrimaryAddr: *primary,
+		BackupAddr:  *backup,
+		Network:     network,
+		Clock:       clock,
+		Logger:      logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer pub.Close()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var stopAt <-chan time.Time
+	if *duration > 0 {
+		stopAt = time.After(*duration)
+	}
+
+	// One ticker per distinct period; each tick publishes a batch of all
+	// topics sharing the period, like the paper's proxies.
+	byPeriod := make(map[time.Duration][]frame.Topic)
+	for _, t := range topics {
+		byPeriod[t.Period] = append(byPeriod[t.Period], t)
+	}
+	type batch struct {
+		ch     <-chan time.Time
+		topics []frame.Topic
+	}
+	var batches []batch
+	for period, group := range byPeriod {
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		batches = append(batches, batch{ch: ticker.C, topics: group})
+	}
+	body := make([]byte, *payload)
+
+	published := uint64(0)
+	start := time.Now()
+	for {
+		// A small select fan-in over the period groups plus stop signals.
+		fired := false
+		for _, bt := range batches {
+			select {
+			case <-bt.ch:
+				for _, t := range bt.topics {
+					if _, err := pub.Publish(t.ID, body); err != nil {
+						logger.Warn("publish failed", "topic", t.ID, "err", err)
+						continue
+					}
+					published++
+				}
+				fired = true
+			default:
+			}
+		}
+		select {
+		case s := <-sig:
+			logger.Info("stopping", "signal", s.String())
+			return report(pub, topics, published, start)
+		case <-stopAt:
+			return report(pub, topics, published, start)
+		default:
+		}
+		if !fired {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// syncedClock disciplines this process's clock to the primary broker via
+// the NTP-style exchange the broker answers on any session, so the tc
+// timestamps it stamps are comparable with subscriber-side ts readings
+// (the paper's test-bed ran PTPd for the same reason, §VI-A).
+func syncedClock(network frame.Network, serverAddr string) (frame.Clock, func(), error) {
+	runner, err := clocksync.NewRunner(clocksync.RunnerOptions{
+		ServerAddr: serverAddr,
+		Network:    network,
+		Local:      frame.NewClock(),
+		Interval:   500 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = runner.Run(ctx) // returns on cancel
+	}()
+	// Wait briefly for the first exchange so early messages are stamped in
+	// the broker timebase.
+	deadline := time.Now().Add(2 * time.Second)
+	for !runner.Synchronizer().Synced() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop := func() {
+		cancel()
+		<-done
+	}
+	return runner.Clock(), stop, nil
+}
+
+func report(pub *frame.Publisher, topics []frame.Topic, published uint64, start time.Time) error {
+	elapsed := time.Since(start)
+	fmt.Printf("published %d messages over %v (%.0f msg/s)\n",
+		published, elapsed.Round(time.Millisecond), float64(published)/elapsed.Seconds())
+	for _, t := range topics {
+		fmt.Printf("  topic %d: last seq %d\n", t.ID, pub.LastSeq(t.ID))
+	}
+	return nil
+}

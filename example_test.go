@@ -1,0 +1,89 @@
+package frame_test
+
+import (
+	"fmt"
+	"time"
+
+	frame "repro"
+)
+
+// The timing bounds of the paper's worked example (§III-D): category 2
+// needs replication, category 3 does not.
+func ExampleComputeBounds() {
+	params := frame.PaperParams()
+	for _, cat := range []int{2, 3} {
+		topic := frame.Table2()[cat].Stamp(frame.TopicID(cat), 16)
+		b := frame.ComputeBounds(topic, params)
+		fmt.Printf("category %d: Dd=%v Dr=%v replicate=%v\n",
+			cat, b.Dispatch, b.Replication, b.Replicate)
+	}
+	// Output:
+	// category 2: Dd=99ms Dr=49.95ms replicate=true
+	// category 3: Dd=99ms Dr=249.95ms replicate=false
+}
+
+// Admission (§III-D-1): a zero-loss topic must retain enough messages to
+// cover the fail-over window.
+func ExampleMinRetention() {
+	params := frame.PaperParams() // x = 50ms, ΔBB = 0.05ms
+	topic := frame.Topic{
+		Period:      20 * time.Millisecond,
+		Deadline:    time.Second,
+		Destination: frame.DestEdge,
+		PayloadSize: 16,
+	}
+	fmt.Println("minimum Ni:", frame.MinRetention(topic, params))
+	topic.Retention = frame.MinRetention(topic, params)
+	fmt.Println("admissible:", frame.Admissible(topic, params) == nil)
+	// Output:
+	// minimum Ni: 3
+	// admissible: true
+}
+
+// The §III-D-3 manoeuvre: one extra retained message removes the need to
+// replicate category 5 at all.
+func ExampleNeedsReplication() {
+	params := frame.PaperParams()
+	topic := frame.Table2()[5].Stamp(5, 16) // cloud logging, Ni=1
+	fmt.Println("Ni=1 replicates:", frame.NeedsReplication(topic, params))
+	topic.Retention++
+	fmt.Println("Ni=2 replicates:", frame.NeedsReplication(topic, params))
+	// Output:
+	// Ni=1 replicates: true
+	// Ni=2 replicates: false
+}
+
+// A deterministic simulated evaluation run: the smallest paper workload
+// under FRAME with a mid-window crash still meets every loss-tolerance
+// contract.
+func ExampleSimulate() {
+	w, err := frame.NewWorkload(1525)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := frame.Simulate(frame.SimOptions{
+		Workload: w,
+		Variant:  frame.VariantFRAME,
+		Seed:     1,
+		Warmup:   300 * time.Millisecond,
+		Measure:  1500 * time.Millisecond,
+		Drain:    time.Second,
+		CrashAt:  750 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	violations := 0
+	for _, tr := range res.Topics {
+		if !tr.Topic.BestEffort() && !tr.MeetsLossTolerance() {
+			violations++
+		}
+	}
+	fmt.Println("crashed:", res.Crashed)
+	fmt.Println("loss-tolerance violations:", violations)
+	// Output:
+	// crashed: true
+	// loss-tolerance violations: 0
+}

@@ -1,0 +1,86 @@
+// Loadtest: compare the four evaluation configurations on the simulated
+// test-bed at a workload size of your choice.
+//
+// This drives the same deterministic simulator that regenerates the
+// paper's tables (frame.Simulate), so you can explore questions like
+// "where does FCFS collapse?" or "how much CPU does FRAME+ save at my
+// topic count?" in seconds:
+//
+//	go run ./examples/loadtest -topics 7525 -measure 4s -crash
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	frame "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		topics  = flag.Int("topics", 4525, "total topics (25 + multiple of 3: 1525, 4525, 7525, ...)")
+		measure = flag.Duration("measure", 3*time.Second, "measurement window")
+		crash   = flag.Bool("crash", false, "inject a Primary crash at the window midpoint")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	w, err := frame.NewWorkload(*topics)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d topics, %.0f msg/s aggregate; crash=%v\n\n",
+		w.TotalTopics, w.MessageRate(), *crash)
+	fmt.Printf("%-8s %12s %12s %14s %12s\n",
+		"config", "loss-OK %", "latency-OK %", "delivery-CPU %", "replicas")
+
+	for _, v := range []frame.Variant{
+		frame.VariantFRAMEPlus, frame.VariantFRAME, frame.VariantFCFS, frame.VariantFCFSMinus,
+	} {
+		opts := frame.SimOptions{
+			Workload: w,
+			Variant:  v,
+			Seed:     *seed,
+			Warmup:   500 * time.Millisecond,
+			Measure:  *measure,
+			Drain:    time.Second,
+		}
+		if *crash {
+			opts.CrashAt = *measure / 2
+		}
+		res, err := frame.Simulate(opts)
+		if err != nil {
+			return err
+		}
+		var lossOK, lossTotal int
+		var met, created uint64
+		for _, tr := range res.Topics {
+			met += tr.DeadlineMet
+			created += tr.Created
+			if tr.Topic.BestEffort() {
+				continue
+			}
+			lossTotal++
+			if tr.MeetsLossTolerance() {
+				lossOK++
+			}
+		}
+		fmt.Printf("%-8s %12.1f %12.2f %14.1f %12d\n",
+			v.String(),
+			100*float64(lossOK)/float64(lossTotal),
+			100*float64(met)/float64(created),
+			res.Util.PrimaryDelivery,
+			res.BackupStats.ReplicasStored)
+	}
+	fmt.Println("\n(loss-OK: % of topics within their Li; latency-OK: % of messages within Di)")
+	return nil
+}

@@ -1,0 +1,635 @@
+// Package broker is the real-time runtime of the FRAME architecture
+// (paper Fig. 4): it hosts a core.Engine behind a network listener and a
+// pool of delivery workers, in the same module split as the paper's
+// implementation inside the TAO event service (§V):
+//
+//   - the accept/read loops play the Supplier Proxies + Message Proxy role
+//     (each arriving Publish frame is stored and turned into jobs);
+//   - the worker pool plays the Message Delivery module, its goroutines
+//     acting as Dispatchers and Replicators ("a pool of generic threads,
+//     with the total number of threads equal to three times the number of
+//     CPU cores");
+//   - subscriber connections play the Consumer Proxies.
+//
+// A broker starts as Primary (dispatching and replicating) or as Backup
+// (absorbing replicas and polling the Primary); a Backup promotes itself
+// into a new Primary when its failure detector fires, draining the pruned
+// Backup Buffer per Table 3's Recovery procedure.
+package broker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clocksync"
+	"repro/internal/core"
+	"repro/internal/diskstore"
+	"repro/internal/failover"
+	"repro/internal/spec"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Role is the broker's fault-tolerance role.
+type Role int
+
+// Broker roles.
+const (
+	RolePrimary Role = iota + 1
+	RoleBackup
+)
+
+// String returns the role label.
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleBackup:
+		return "backup"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Options configures a broker.
+type Options struct {
+	// Engine is the core configuration (policy, coordination, params).
+	Engine core.Config
+	// Role selects Primary or Backup duty at startup.
+	Role Role
+	// ListenAddr is where publishers, subscribers, and the peer connect.
+	ListenAddr string
+	// PeerAddr is the other broker: for a Primary, the Backup to replicate
+	// to (empty means no backup); for a Backup, the Primary to poll.
+	PeerAddr string
+	// Network supplies listen/dial (TCP or in-process).
+	Network transport.Network
+	// Clock is the broker's timebase; all brokers and clients in one
+	// deployment must be synchronized (see package clocksync).
+	Clock clocksync.Clock
+	// Workers sets the delivery pool size; zero means 3×GOMAXPROCS, the
+	// paper's sizing.
+	Workers int
+	// Detector tunes the Backup's failure detector; zero-value means
+	// failover.DefaultConfig.
+	Detector failover.Config
+	// Topics are registered before the broker starts serving.
+	Topics []spec.Topic
+	// Logger receives operational events; nil means slog.Default.
+	Logger *slog.Logger
+	// DiskBackupDir, when non-empty on a Backup, additionally persists
+	// every replica to an append-only log in that directory (the paper's
+	// Table 1 "local disk" strategy, offered as a belt-and-braces option)
+	// and reloads surviving copies into the Backup Buffer at startup.
+	DiskBackupDir string
+	// DiskSync selects the log's durability; zero means diskstore.SyncNever.
+	DiskSync diskstore.SyncPolicy
+}
+
+// Broker runs one FRAME broker.
+type Broker struct {
+	opts   Options
+	log    *slog.Logger
+	ln     net.Listener
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	engine   *core.Engine
+	role     Role
+	promoted chan struct{} // closed on promotion
+	stopping bool
+
+	subsMu sync.Mutex
+	subs   map[spec.TopicID][]*transport.Conn
+
+	// lateDispatches counts dispatch jobs that started executing after
+	// their absolute deadline — the runtime-observable form of a Lemma 2
+	// violation. Under admission-respecting load this stays zero.
+	lateDispatches atomic.Uint64
+
+	peerMu   sync.Mutex
+	peerConn *transport.Conn // Primary→Backup replication link
+
+	diskMu sync.Mutex
+	disk   *diskstore.Log // optional durable replica log (Backup role)
+}
+
+// New creates a broker, registers its topics, and binds its listener (so
+// the address is dialable when New returns), but serves nothing until Run.
+func New(opts Options) (*Broker, error) {
+	if opts.Network == nil {
+		return nil, errors.New("broker: nil network")
+	}
+	if opts.Clock == nil {
+		return nil, errors.New("broker: nil clock")
+	}
+	if opts.Role != RolePrimary && opts.Role != RoleBackup {
+		return nil, fmt.Errorf("broker: bad role %d", int(opts.Role))
+	}
+	if opts.Workers == 0 {
+		opts.Workers = 3 * runtime.GOMAXPROCS(0)
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("broker: negative workers %d", opts.Workers)
+	}
+	if opts.Detector == (failover.Config{}) {
+		opts.Detector = failover.DefaultConfig()
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	engineCfg := opts.Engine
+	// A Primary without a peer, and any Backup, must not generate
+	// replication jobs.
+	if opts.Role == RolePrimary && opts.PeerAddr == "" {
+		engineCfg.HasBackup = false
+	}
+	if opts.Role == RoleBackup {
+		engineCfg.HasBackup = false
+	}
+	engine, err := core.New(engineCfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range opts.Topics {
+		if err := engine.AddTopic(t); err != nil {
+			return nil, fmt.Errorf("broker: %w", err)
+		}
+	}
+	ln, err := opts.Network.Listen(opts.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	b := &Broker{
+		opts:     opts,
+		log:      opts.Logger.With("broker", opts.ListenAddr, "role", opts.Role.String()),
+		ln:       ln,
+		engine:   engine,
+		role:     opts.Role,
+		promoted: make(chan struct{}),
+		subs:     make(map[spec.TopicID][]*transport.Conn),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	if opts.Role == RoleBackup && opts.DiskBackupDir != "" {
+		policy := opts.DiskSync
+		if policy == 0 {
+			policy = diskstore.SyncNever
+		}
+		disk, recovered, err := diskstore.Open(opts.DiskBackupDir, "replicas.log", policy)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("broker: disk backup: %w", err)
+		}
+		b.disk = disk
+		reloaded := 0
+		for _, m := range recovered {
+			// Replicas for topics no longer configured are skipped.
+			if err := b.engine.OnReplica(m, 0); err == nil {
+				reloaded++
+			}
+		}
+		if reloaded > 0 {
+			b.log.Info("reloaded persisted replicas", "count", reloaded)
+		}
+	}
+	return b, nil
+}
+
+// Addr returns the bound listen address.
+func (b *Broker) Addr() string { return b.ln.Addr().String() }
+
+// Role returns the broker's current role (Backup becomes Primary after
+// promotion).
+func (b *Broker) Role() Role {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.role
+}
+
+// Promoted returns a channel closed when a Backup promotes itself.
+func (b *Broker) Promoted() <-chan struct{} { return b.promoted }
+
+// Stats snapshots the engine counters.
+func (b *Broker) Stats() core.Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.engine.Stats()
+}
+
+// LateDispatches reports dispatch jobs that began executing past their
+// deadline since the broker started.
+func (b *Broker) LateDispatches() uint64 { return b.lateDispatches.Load() }
+
+// Start launches the accept loop, the delivery workers, and the role's
+// background duties. It returns immediately; Stop shuts everything down.
+func (b *Broker) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	b.cancel = cancel
+
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.acceptLoop(ctx)
+	}()
+	for i := 0; i < b.opts.Workers; i++ {
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.workerLoop()
+		}()
+	}
+	if b.opts.Role == RolePrimary && b.opts.PeerAddr != "" {
+		// Dial the Backup before workers can pop replication jobs: both
+		// listeners are bound in New, so this normally succeeds at once.
+		// On failure the background loop keeps retrying.
+		conn, err := b.dialPeer()
+		if err == nil {
+			b.setPeer(conn)
+			b.wg.Add(1)
+			go func() {
+				defer b.wg.Done()
+				b.servePeer(ctx, conn)
+			}()
+		} else {
+			b.log.Warn("initial backup dial failed; retrying", "err", err)
+			b.wg.Add(1)
+			go func() {
+				defer b.wg.Done()
+				b.connectPeer(ctx)
+			}()
+		}
+	}
+	if b.opts.Role == RoleBackup && b.opts.PeerAddr != "" {
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.watchPrimary(ctx)
+		}()
+	}
+}
+
+// Stop shuts the broker down and waits for all goroutines.
+func (b *Broker) Stop() {
+	if b.cancel != nil {
+		b.cancel()
+	}
+	b.mu.Lock()
+	b.stopping = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	b.ln.Close()
+	b.peerMu.Lock()
+	if b.peerConn != nil {
+		b.peerConn.Close()
+	}
+	b.peerMu.Unlock()
+	b.closeSubscribers()
+	b.wg.Wait()
+	b.diskMu.Lock()
+	if b.disk != nil {
+		if err := b.disk.Close(); err != nil {
+			b.log.Warn("disk backup close failed", "err", err)
+		}
+		b.disk = nil
+	}
+	b.diskMu.Unlock()
+}
+
+func (b *Broker) closeSubscribers() {
+	b.subsMu.Lock()
+	defer b.subsMu.Unlock()
+	seen := make(map[*transport.Conn]bool)
+	for _, conns := range b.subs {
+		for _, c := range conns {
+			if !seen[c] {
+				seen[c] = true
+				c.Close()
+			}
+		}
+	}
+}
+
+// acceptLoop admits sessions until the listener closes.
+func (b *Broker) acceptLoop(ctx context.Context) {
+	for {
+		nc, err := b.ln.Accept()
+		if err != nil {
+			if ctx.Err() == nil && !errors.Is(err, net.ErrClosed) {
+				b.log.Warn("accept failed", "err", err)
+			}
+			return
+		}
+		conn := transport.NewConn(nc)
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.serveConn(ctx, conn)
+		}()
+	}
+}
+
+// serveConn runs one session read loop. The first frame should be a Hello;
+// untyped sessions are served generically anyway (poll/time replies).
+func (b *Broker) serveConn(ctx context.Context, conn *transport.Conn) {
+	defer conn.Close()
+	defer b.removeSubscriber(conn)
+	// Ensure blocked reads unstick on shutdown.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if err := b.handleFrame(conn, f); err != nil {
+			b.log.Warn("session error", "err", err, "type", f.Type.String())
+			return
+		}
+	}
+}
+
+func (b *Broker) handleFrame(conn *transport.Conn, f *wire.Frame) error {
+	switch f.Type {
+	case wire.TypeHello:
+		return nil // roles are implicit in subsequent traffic
+	case wire.TypePublish, wire.TypeResend:
+		// An unknown topic is the sender's configuration error, not a
+		// protocol fault: drop the message but keep the session, which may
+		// carry other, valid topics.
+		if err := b.onPublish(f.Msg); err != nil {
+			b.log.Warn("publish rejected", "topic", f.Msg.Topic, "err", err)
+		}
+		return nil
+	case wire.TypeSubscribe:
+		b.addSubscriber(conn, f.Topics)
+		return nil
+	case wire.TypeReplicate:
+		if err := b.onReplica(f); err != nil {
+			b.log.Warn("replica rejected", "topic", f.Msg.Topic, "err", err)
+		}
+		return nil
+	case wire.TypePrune:
+		b.mu.Lock()
+		b.engine.OnPrune(f.Topic, f.Seq)
+		b.mu.Unlock()
+		return nil
+	case wire.TypePoll:
+		return conn.Send(&wire.Frame{Type: wire.TypePollReply, Nonce: f.Nonce})
+	case wire.TypeTimeReq:
+		return clocksync.Respond(conn, b.opts.Clock, f)
+	case wire.TypePollReply, wire.TypeTimeResp:
+		return nil // stray replies on shared links are harmless
+	default:
+		return fmt.Errorf("broker: unexpected frame %v", f.Type)
+	}
+}
+
+// onPublish is the Message Proxy path: store, generate jobs, wake workers.
+func (b *Broker) onPublish(m wire.Message) error {
+	now := b.opts.Clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.engine.OnPublish(m, now); err != nil {
+		return err
+	}
+	b.cond.Broadcast()
+	return nil
+}
+
+// onReplica stores a replica in the Backup Buffer (Backup role), and in
+// the durable log when one is configured.
+func (b *Broker) onReplica(f *wire.Frame) error {
+	b.diskMu.Lock()
+	if b.disk != nil {
+		if err := b.disk.Append(f.Msg); err != nil {
+			b.log.Warn("disk backup append failed", "err", err)
+		}
+	}
+	b.diskMu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.engine.OnReplica(f.Msg, f.ArrivedPrimary)
+}
+
+func (b *Broker) addSubscriber(conn *transport.Conn, topics []spec.TopicID) {
+	b.subsMu.Lock()
+	defer b.subsMu.Unlock()
+	for _, id := range topics {
+		b.subs[id] = append(b.subs[id], conn)
+	}
+}
+
+// removeSubscriber drops a dead session from every topic's fan-out list so
+// Dispatchers stop attempting sends to it.
+func (b *Broker) removeSubscriber(conn *transport.Conn) {
+	b.subsMu.Lock()
+	defer b.subsMu.Unlock()
+	for id, conns := range b.subs {
+		kept := conns[:0]
+		for _, c := range conns {
+			if c != conn {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			delete(b.subs, id)
+			continue
+		}
+		b.subs[id] = kept
+	}
+}
+
+// workerLoop is one Message Delivery thread: it pops resolved work under
+// the engine lock and performs the network sends outside it.
+func (b *Broker) workerLoop() {
+	for {
+		b.mu.Lock()
+		var w core.Work
+		var ok bool
+		for {
+			if b.stopping {
+				b.mu.Unlock()
+				return
+			}
+			w, ok = b.engine.NextWork()
+			if ok {
+				break
+			}
+			b.cond.Wait()
+		}
+		b.mu.Unlock()
+
+		switch w.Kind {
+		case core.WorkDispatch:
+			if b.opts.Clock() > w.Job.Deadline {
+				b.lateDispatches.Add(1)
+			}
+			b.dispatch(w)
+		case core.WorkReplicate:
+			b.replicate(w)
+		}
+	}
+}
+
+// dispatch pushes the message to every subscriber of the topic, then runs
+// the Table 3 Dispatch steps (flag + prune request).
+func (b *Broker) dispatch(w core.Work) {
+	b.subsMu.Lock()
+	conns := append([]*transport.Conn(nil), b.subs[w.Msg.Topic]...)
+	b.subsMu.Unlock()
+	frame := &wire.Frame{Type: wire.TypeDispatch, Msg: w.Msg, Dispatched: b.opts.Clock()}
+	for _, c := range conns {
+		if err := c.Send(frame); err != nil {
+			b.log.Warn("dispatch send failed", "topic", w.Msg.Topic, "err", err)
+		}
+	}
+
+	b.mu.Lock()
+	co := b.engine.OnDispatched(w.Job)
+	b.mu.Unlock()
+	if co.SendPrune {
+		if peer := b.peer(); peer != nil {
+			if err := peer.Send(&wire.Frame{Type: wire.TypePrune, Topic: co.Topic, Seq: co.Seq}); err != nil {
+				b.log.Warn("prune send failed", "err", err)
+			}
+		}
+	}
+}
+
+// replicate pushes a copy of the message to the Backup (Table 3 Replicate
+// steps 2–3).
+func (b *Broker) replicate(w core.Work) {
+	peer := b.peer()
+	if peer == nil {
+		return // backup gone or never configured
+	}
+	frame := &wire.Frame{Type: wire.TypeReplicate, Msg: w.Msg, ArrivedPrimary: w.ArrivedPrimary}
+	if err := peer.Send(frame); err != nil {
+		b.log.Warn("replicate send failed", "topic", w.Msg.Topic, "err", err)
+		return
+	}
+	b.mu.Lock()
+	b.engine.OnReplicated(w.Job)
+	b.mu.Unlock()
+}
+
+func (b *Broker) peer() *transport.Conn {
+	b.peerMu.Lock()
+	defer b.peerMu.Unlock()
+	return b.peerConn
+}
+
+// dialPeer opens and greets one replication link to the Backup.
+func (b *Broker) dialPeer() (*transport.Conn, error) {
+	nc, err := b.opts.Network.Dial(b.opts.PeerAddr)
+	if err != nil {
+		return nil, err
+	}
+	conn := transport.NewConn(nc)
+	if err := conn.Send(&wire.Frame{Type: wire.TypeHello, Role: wire.RoleBrokerPeer, Name: b.Addr()}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+func (b *Broker) setPeer(conn *transport.Conn) {
+	b.peerMu.Lock()
+	b.peerConn = conn
+	b.peerMu.Unlock()
+	b.log.Info("replication link up", "peer", b.opts.PeerAddr)
+}
+
+// servePeer drains the replication link's read side (poll/time replies)
+// until it dies, then clears the peer. A dead Backup is not replaced within
+// one run (the paper's scope is a single broker failure).
+func (b *Broker) servePeer(ctx context.Context, conn *transport.Conn) {
+	b.serveConn(ctx, conn)
+	b.peerMu.Lock()
+	if b.peerConn == conn {
+		b.peerConn = nil
+	}
+	b.peerMu.Unlock()
+}
+
+// connectPeer dials the Backup with retries and installs the replication
+// link.
+func (b *Broker) connectPeer(ctx context.Context) {
+	for ctx.Err() == nil {
+		conn, err := b.dialPeer()
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(10 * time.Millisecond):
+				continue
+			}
+		}
+		b.setPeer(conn)
+		b.servePeer(ctx, conn)
+		return
+	}
+}
+
+// watchPrimary runs the Backup's failure detector over a dedicated polling
+// connection and promotes on crash (§IV-A).
+func (b *Broker) watchPrimary(ctx context.Context) {
+	var conn *transport.Conn
+	for ctx.Err() == nil {
+		nc, err := b.opts.Network.Dial(b.opts.PeerAddr)
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(10 * time.Millisecond):
+				continue
+			}
+		}
+		conn = transport.NewConn(nc)
+		break
+	}
+	if conn == nil {
+		return
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	if err := conn.Send(&wire.Frame{Type: wire.TypeHello, Role: wire.RoleBrokerPeer, Name: b.Addr()}); err != nil {
+		return
+	}
+	det, err := failover.New(b.opts.Detector, failover.ConnProbe(conn), b.promote)
+	if err != nil {
+		b.log.Error("detector init failed", "err", err)
+		return
+	}
+	if err := det.Run(ctx); err != nil && ctx.Err() == nil {
+		b.log.Warn("detector stopped", "err", err)
+	}
+}
+
+// promote executes the §IV-A recovery: the Backup becomes the new Primary
+// and schedules dispatch jobs for all non-discarded Backup Buffer copies.
+func (b *Broker) promote() {
+	b.mu.Lock()
+	if b.role == RolePrimary {
+		b.mu.Unlock()
+		return
+	}
+	b.role = RolePrimary
+	b.engine.Promote()
+	stats := b.engine.Stats()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	close(b.promoted)
+	b.log.Info("promoted to primary",
+		"recoveryJobs", stats.RecoveryJobs, "skipped", stats.RecoverySkipped)
+}

@@ -1,0 +1,413 @@
+// Package client implements FRAME's endpoint runtimes: Publishers, which
+// act as proxies for collections of IIoT devices, retain their Ni latest
+// messages per topic, and re-send them to the Backup on fail-over
+// (§III-B); and Subscribers, which receive dispatches from whichever
+// broker is Primary, discard duplicates, and record end-to-end latency and
+// loss statistics (§VI).
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"repro/internal/clocksync"
+	"repro/internal/failover"
+	"repro/internal/ringbuf"
+	"repro/internal/spec"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// PublisherOptions configures a publisher proxy.
+type PublisherOptions struct {
+	// Name identifies the publisher in Hello frames and logs.
+	Name string
+	// Topics are the topics this proxy owns; Retention (Ni) is per topic.
+	Topics []spec.Topic
+	// PrimaryAddr and BackupAddr are the broker endpoints. BackupAddr may
+	// be empty when no backup exists.
+	PrimaryAddr, BackupAddr string
+	// Network supplies dialing.
+	Network transport.Network
+	// Clock is the synchronized timebase used to stamp tc.
+	Clock clocksync.Clock
+	// Detector tunes crash detection of the Primary; zero-value means
+	// failover.DefaultConfig. Only used when BackupAddr is non-empty.
+	Detector failover.Config
+	// Logger receives operational events; nil means slog.Default.
+	Logger *slog.Logger
+}
+
+// Publisher is a proxy for a set of topics. Publish stamps and sends
+// messages to the current Primary; when its detector declares the Primary
+// dead it redirects to the Backup, first re-sending each topic's retained
+// messages. Publisher is safe for concurrent use.
+type Publisher struct {
+	opts PublisherOptions
+	log  *slog.Logger
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu         sync.Mutex
+	conn       *transport.Conn // current broker link
+	backup     *transport.Conn // standby link (nil without a backup)
+	failedOver bool            // primary declared dead; traffic on backup
+	seqs       map[spec.TopicID]uint64
+	retained   map[spec.TopicID]*ringbuf.Ring[wire.Message]
+	topics     map[spec.TopicID]spec.Topic
+
+	failedOverCh chan struct{}
+}
+
+// NewPublisher dials the brokers and returns a running publisher.
+func NewPublisher(opts PublisherOptions) (*Publisher, error) {
+	if opts.Network == nil || opts.Clock == nil {
+		return nil, errors.New("client: publisher needs network and clock")
+	}
+	if len(opts.Topics) == 0 {
+		return nil, errors.New("client: publisher needs at least one topic")
+	}
+	if opts.Detector == (failover.Config{}) {
+		opts.Detector = failover.DefaultConfig()
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	p := &Publisher{
+		opts:         opts,
+		log:          opts.Logger.With("publisher", opts.Name),
+		seqs:         make(map[spec.TopicID]uint64, len(opts.Topics)),
+		retained:     make(map[spec.TopicID]*ringbuf.Ring[wire.Message], len(opts.Topics)),
+		topics:       make(map[spec.TopicID]spec.Topic, len(opts.Topics)),
+		failedOverCh: make(chan struct{}),
+	}
+	for _, t := range opts.Topics {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		p.topics[t.ID] = t
+		if t.Retention > 0 {
+			p.retained[t.ID] = ringbuf.New[wire.Message](t.Retention)
+		}
+	}
+	conn, err := dialHello(opts.Network, opts.PrimaryAddr, opts.Name, wire.RolePublisher)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial primary: %w", err)
+	}
+	p.conn = conn
+	ctx, cancel := context.WithCancel(context.Background())
+	p.cancel = cancel
+	if opts.BackupAddr != "" {
+		backup, err := dialHello(opts.Network, opts.BackupAddr, opts.Name, wire.RolePublisher)
+		if err != nil {
+			conn.Close()
+			cancel()
+			return nil, fmt.Errorf("client: dial backup: %w", err)
+		}
+		p.backup = backup
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.watchPrimary(ctx)
+		}()
+	}
+	return p, nil
+}
+
+func dialHello(n transport.Network, addr, name string, role wire.Role) (*transport.Conn, error) {
+	nc, err := n.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	conn := transport.NewConn(nc)
+	if err := conn.Send(&wire.Frame{Type: wire.TypeHello, Role: role, Name: name}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// Publish creates the next message of the topic: stamps tc and the next
+// sequence number, retains a copy (evicting beyond Ni), and sends it to the
+// current broker. It returns the assigned sequence number.
+func (p *Publisher) Publish(topic spec.TopicID, payload []byte) (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.topics[topic]; !ok {
+		return 0, fmt.Errorf("client: publisher does not own topic %d", topic)
+	}
+	p.seqs[topic]++
+	m := wire.Message{
+		Topic:   topic,
+		Seq:     p.seqs[topic],
+		Created: p.opts.Clock(),
+		Payload: payload,
+	}
+	if ring := p.retained[topic]; ring != nil {
+		ring.Push(m)
+	}
+	if err := p.conn.Send(&wire.Frame{Type: wire.TypePublish, Msg: m}); err != nil {
+		return m.Seq, fmt.Errorf("client: publish: %w", err)
+	}
+	return m.Seq, nil
+}
+
+// LastSeq returns the highest sequence number created for the topic.
+func (p *Publisher) LastSeq(topic spec.TopicID) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seqs[topic]
+}
+
+// FailedOver returns a channel closed once the publisher has redirected to
+// the Backup.
+func (p *Publisher) FailedOver() <-chan struct{} { return p.failedOverCh }
+
+// watchPrimary runs the crash detector over a dedicated polling connection,
+// then performs the §III-B fail-over: redirect traffic to the Backup and
+// re-send all retained messages.
+func (p *Publisher) watchPrimary(ctx context.Context) {
+	pollConn, err := dialHello(p.opts.Network, p.opts.PrimaryAddr, p.opts.Name, wire.RolePublisher)
+	if err != nil {
+		p.log.Warn("poll dial failed; assuming primary dead", "err", err)
+		p.failOver()
+		return
+	}
+	defer pollConn.Close()
+	stop := context.AfterFunc(ctx, func() { pollConn.Close() })
+	defer stop()
+	det, err := failover.New(p.opts.Detector, failover.ConnProbe(pollConn), p.failOver)
+	if err != nil {
+		p.log.Error("detector init failed", "err", err)
+		return
+	}
+	if err := det.Run(ctx); err != nil && ctx.Err() == nil {
+		p.log.Warn("detector stopped", "err", err)
+	}
+}
+
+// failOver redirects to the Backup and re-sends the retained messages of
+// every topic, oldest first.
+func (p *Publisher) failOver() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failedOver || p.backup == nil {
+		return
+	}
+	p.failedOver = true
+	old := p.conn
+	p.conn = p.backup
+	old.Close()
+	resent := 0
+	for id, ring := range p.retained {
+		ring.Do(func(_ uint64, m wire.Message) {
+			if err := p.conn.Send(&wire.Frame{Type: wire.TypeResend, Msg: m}); err != nil {
+				p.log.Warn("resend failed", "topic", id, "seq", m.Seq, "err", err)
+				return
+			}
+			resent++
+		})
+	}
+	close(p.failedOverCh)
+	p.log.Info("failed over to backup", "resent", resent)
+}
+
+// Close shuts the publisher down.
+func (p *Publisher) Close() {
+	p.cancel()
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.conn.Close()
+	if p.backup != nil {
+		p.backup.Close()
+	}
+}
+
+// Delivery is one received message with measurement context.
+type Delivery struct {
+	Msg wire.Message
+	// Latency is ts − tc in the synchronized timebase.
+	Latency time.Duration
+	// Duplicate marks re-deliveries (already counted once).
+	Duplicate bool
+}
+
+// SubscriberOptions configures a subscriber.
+type SubscriberOptions struct {
+	// Name identifies the subscriber.
+	Name string
+	// Topics to subscribe to.
+	Topics []spec.TopicID
+	// BrokerAddrs lists every broker to connect to (Primary and Backup;
+	// the paper's subscribers hold connections to both).
+	BrokerAddrs []string
+	// Network supplies dialing.
+	Network transport.Network
+	// Clock is the synchronized timebase used to stamp ts.
+	Clock clocksync.Clock
+	// OnDeliver, if non-nil, runs for every distinct delivery (not for
+	// duplicates) from the receiving goroutine.
+	OnDeliver func(Delivery)
+	// Logger receives operational events; nil means slog.Default.
+	Logger *slog.Logger
+}
+
+// Subscriber receives dispatches from all configured brokers, discarding
+// duplicate sequence numbers (§VI-C), and keeps per-topic delivery records.
+type Subscriber struct {
+	opts SubscriberOptions
+	log  *slog.Logger
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	seen      map[spec.TopicID]map[uint64]bool
+	latencies map[spec.TopicID][]time.Duration
+	received  map[spec.TopicID]uint64
+	dups      uint64
+}
+
+// NewSubscriber dials every broker, subscribes, and starts receive loops.
+func NewSubscriber(opts SubscriberOptions) (*Subscriber, error) {
+	if opts.Network == nil || opts.Clock == nil {
+		return nil, errors.New("client: subscriber needs network and clock")
+	}
+	if len(opts.Topics) == 0 || len(opts.BrokerAddrs) == 0 {
+		return nil, errors.New("client: subscriber needs topics and brokers")
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	s := &Subscriber{
+		opts:      opts,
+		log:       opts.Logger.With("subscriber", opts.Name),
+		seen:      make(map[spec.TopicID]map[uint64]bool),
+		latencies: make(map[spec.TopicID][]time.Duration),
+		received:  make(map[spec.TopicID]uint64),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	var conns []*transport.Conn
+	for _, addr := range opts.BrokerAddrs {
+		conn, err := dialHello(opts.Network, addr, opts.Name, wire.RoleSubscriber)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			cancel()
+			return nil, fmt.Errorf("client: dial broker %s: %w", addr, err)
+		}
+		if err := conn.Send(&wire.Frame{Type: wire.TypeSubscribe, Topics: opts.Topics}); err != nil {
+			conn.Close()
+			for _, c := range conns {
+				c.Close()
+			}
+			cancel()
+			return nil, fmt.Errorf("client: subscribe at %s: %w", addr, err)
+		}
+		conns = append(conns, conn)
+	}
+	for _, conn := range conns {
+		conn := conn
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			stop := context.AfterFunc(ctx, func() { conn.Close() })
+			defer stop()
+			s.receiveLoop(conn)
+		}()
+	}
+	return s, nil
+}
+
+func (s *Subscriber) receiveLoop(conn *transport.Conn) {
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if f.Type != wire.TypeDispatch {
+			continue
+		}
+		s.onDispatch(f)
+	}
+}
+
+func (s *Subscriber) onDispatch(f *wire.Frame) {
+	now := s.opts.Clock()
+	latency := now - f.Msg.Created
+	s.mu.Lock()
+	seen := s.seen[f.Msg.Topic]
+	if seen == nil {
+		seen = make(map[uint64]bool)
+		s.seen[f.Msg.Topic] = seen
+	}
+	if seen[f.Msg.Seq] {
+		s.dups++
+		s.mu.Unlock()
+		return
+	}
+	seen[f.Msg.Seq] = true
+	s.received[f.Msg.Topic]++
+	s.latencies[f.Msg.Topic] = append(s.latencies[f.Msg.Topic], latency)
+	cb := s.opts.OnDeliver
+	s.mu.Unlock()
+	if cb != nil {
+		cb(Delivery{Msg: f.Msg, Latency: latency})
+	}
+}
+
+// Received returns how many distinct messages arrived for the topic.
+func (s *Subscriber) Received(topic spec.TopicID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received[topic]
+}
+
+// Duplicates returns how many duplicate deliveries were discarded.
+func (s *Subscriber) Duplicates() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dups
+}
+
+// Latencies returns a copy of the topic's end-to-end latency samples.
+func (s *Subscriber) Latencies(topic spec.TopicID) []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.latencies[topic]...)
+}
+
+// MaxConsecutiveLoss reconstructs the longest run of missing sequence
+// numbers for the topic, given the highest sequence the publisher created.
+func (s *Subscriber) MaxConsecutiveLoss(topic spec.TopicID, highestCreated uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := s.seen[topic]
+	maxRun, run := 0, 0
+	for q := uint64(1); q <= highestCreated; q++ {
+		if seen[q] {
+			run = 0
+			continue
+		}
+		run++
+		if run > maxRun {
+			maxRun = run
+		}
+	}
+	return maxRun
+}
+
+// Close tears down all broker connections and waits for receive loops.
+func (s *Subscriber) Close() {
+	s.cancel()
+	s.wg.Wait()
+}

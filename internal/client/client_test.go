@@ -1,0 +1,396 @@
+package client
+
+import (
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/failover"
+	"repro/internal/spec"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func quiet() *slog.Logger {
+	return slog.New(slog.NewTextHandler(discard{}, &slog.HandlerOptions{Level: slog.LevelError}))
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func clock() func() time.Duration {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
+
+func topic(id spec.TopicID, retention int) spec.Topic {
+	return spec.Topic{
+		ID: id, Category: -1, Period: 20 * time.Millisecond, Deadline: time.Second,
+		LossTolerance: 0, Retention: retention, Destination: spec.DestEdge, PayloadSize: 16,
+	}
+}
+
+// fakeBroker accepts connections and records every frame, answering polls
+// and optionally dying on command.
+type fakeBroker struct {
+	name string
+	ln   interface{ Close() error }
+
+	mu       sync.Mutex
+	frames   []*wire.Frame
+	conns    []*transport.Conn
+	answerMu sync.Mutex
+	answer   bool
+}
+
+func newFakeBroker(t *testing.T, n transport.Network, addr string) *fakeBroker {
+	t.Helper()
+	ln, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := &fakeBroker{name: addr, ln: ln, answer: true}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn := transport.NewConn(nc)
+			fb.mu.Lock()
+			fb.conns = append(fb.conns, conn)
+			fb.mu.Unlock()
+			go fb.serve(conn)
+		}
+	}()
+	t.Cleanup(fb.kill)
+	return fb
+}
+
+func (fb *fakeBroker) serve(conn *transport.Conn) {
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		fb.mu.Lock()
+		fb.frames = append(fb.frames, f)
+		fb.mu.Unlock()
+		if f.Type == wire.TypePoll && fb.answering() {
+			if err := conn.Send(&wire.Frame{Type: wire.TypePollReply, Nonce: f.Nonce}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (fb *fakeBroker) answering() bool {
+	fb.answerMu.Lock()
+	defer fb.answerMu.Unlock()
+	return fb.answer
+}
+
+func (fb *fakeBroker) kill() {
+	fb.ln.Close()
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	for _, c := range fb.conns {
+		c.Close()
+	}
+	fb.conns = nil
+}
+
+func (fb *fakeBroker) framesOf(t wire.Type) []*wire.Frame {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	var out []*wire.Frame
+	for _, f := range fb.frames {
+		if f.Type == t {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fastDetector() failover.Config {
+	return failover.Config{Period: 2 * time.Millisecond, Timeout: 5 * time.Millisecond, Misses: 2}
+}
+
+func TestPublisherValidation(t *testing.T) {
+	n := transport.NewMem()
+	newFakeBroker(t, n, "primary")
+	tests := []struct {
+		name string
+		opts PublisherOptions
+	}{
+		{"nil network", PublisherOptions{Clock: clock(), Topics: []spec.Topic{topic(1, 1)}}},
+		{"nil clock", PublisherOptions{Network: n, Topics: []spec.Topic{topic(1, 1)}}},
+		{"no topics", PublisherOptions{Network: n, Clock: clock()}},
+		{"invalid topic", PublisherOptions{Network: n, Clock: clock(),
+			Topics: []spec.Topic{{ID: 1}}, PrimaryAddr: "primary"}},
+		{"bad primary addr", PublisherOptions{Network: n, Clock: clock(),
+			Topics: []spec.Topic{topic(1, 1)}, PrimaryAddr: "nobody"}},
+		{"bad backup addr", PublisherOptions{Network: n, Clock: clock(),
+			Topics: []spec.Topic{topic(1, 1)}, PrimaryAddr: "primary", BackupAddr: "nobody"}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.opts.Logger = quiet()
+			if _, err := NewPublisher(tc.opts); err == nil {
+				t.Error("invalid options accepted")
+			}
+		})
+	}
+}
+
+func TestPublisherStampsSequencesAndRetains(t *testing.T) {
+	n := transport.NewMem()
+	primary := newFakeBroker(t, n, "primary")
+	pub, err := NewPublisher(PublisherOptions{
+		Name: "p", Topics: []spec.Topic{topic(1, 2), topic(2, 0)},
+		PrimaryAddr: "primary", Network: n, Clock: clock(), Logger: quiet(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	for i := 1; i <= 5; i++ {
+		seq, err := pub.Publish(1, []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Errorf("publish %d returned seq %d", i, seq)
+		}
+	}
+	if _, err := pub.Publish(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if pub.LastSeq(1) != 5 || pub.LastSeq(2) != 1 {
+		t.Errorf("LastSeq = %d, %d", pub.LastSeq(1), pub.LastSeq(2))
+	}
+	deadline := time.Now().Add(time.Second)
+	for len(primary.framesOf(wire.TypePublish)) < 6 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	pubs := primary.framesOf(wire.TypePublish)
+	if len(pubs) != 6 {
+		t.Fatalf("broker saw %d publishes, want 6", len(pubs))
+	}
+	// Creation timestamps must be monotone within a topic.
+	var prev time.Duration
+	for _, f := range pubs {
+		if f.Msg.Topic != 1 {
+			continue
+		}
+		if f.Msg.Created < prev {
+			t.Error("creation timestamps not monotone")
+		}
+		prev = f.Msg.Created
+	}
+}
+
+func TestPublisherFailoverResendsRetained(t *testing.T) {
+	n := transport.NewMem()
+	primary := newFakeBroker(t, n, "primary")
+	backup := newFakeBroker(t, n, "backup")
+	pub, err := NewPublisher(PublisherOptions{
+		Name: "p", Topics: []spec.Topic{topic(1, 3)},
+		PrimaryAddr: "primary", BackupAddr: "backup",
+		Network: n, Clock: clock(), Detector: fastDetector(), Logger: quiet(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	for i := 0; i < 7; i++ {
+		if _, err := pub.Publish(1, []byte("retained-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	primary.kill()
+	select {
+	case <-pub.FailedOver():
+	case <-time.After(2 * time.Second):
+		t.Fatal("publisher never failed over")
+	}
+	// Retention 3 → the backup received resends of seqs 5, 6, 7.
+	deadline := time.Now().Add(time.Second)
+	for len(backup.framesOf(wire.TypeResend)) < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	resends := backup.framesOf(wire.TypeResend)
+	if len(resends) != 3 {
+		t.Fatalf("backup saw %d resends, want 3", len(resends))
+	}
+	want := uint64(5)
+	for _, f := range resends {
+		if f.Msg.Seq != want {
+			t.Errorf("resend seq %d, want %d", f.Msg.Seq, want)
+		}
+		want++
+	}
+	// Publishing continues against the backup.
+	if _, err := pub.Publish(1, []byte("after-failover!!")); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(time.Second)
+	for len(backup.framesOf(wire.TypePublish)) < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := backup.framesOf(wire.TypePublish); len(got) != 1 || got[0].Msg.Seq != 8 {
+		t.Errorf("post-failover publish: %d frames", len(got))
+	}
+}
+
+func TestPublisherRejectsUnownedTopic(t *testing.T) {
+	n := transport.NewMem()
+	newFakeBroker(t, n, "primary")
+	pub, err := NewPublisher(PublisherOptions{
+		Name: "p", Topics: []spec.Topic{topic(1, 1)},
+		PrimaryAddr: "primary", Network: n, Clock: clock(), Logger: quiet(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if _, err := pub.Publish(42, nil); err == nil {
+		t.Error("unowned topic accepted")
+	}
+}
+
+func TestSubscriberValidation(t *testing.T) {
+	n := transport.NewMem()
+	newFakeBroker(t, n, "b1")
+	tests := []struct {
+		name string
+		opts SubscriberOptions
+	}{
+		{"nil network", SubscriberOptions{Clock: clock(), Topics: []spec.TopicID{1}, BrokerAddrs: []string{"b1"}}},
+		{"nil clock", SubscriberOptions{Network: n, Topics: []spec.TopicID{1}, BrokerAddrs: []string{"b1"}}},
+		{"no topics", SubscriberOptions{Network: n, Clock: clock(), BrokerAddrs: []string{"b1"}}},
+		{"no brokers", SubscriberOptions{Network: n, Clock: clock(), Topics: []spec.TopicID{1}}},
+		{"bad addr", SubscriberOptions{Network: n, Clock: clock(), Topics: []spec.TopicID{1}, BrokerAddrs: []string{"nope"}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.opts.Logger = quiet()
+			if _, err := NewSubscriber(tc.opts); err == nil {
+				t.Error("invalid options accepted")
+			}
+		})
+	}
+}
+
+func TestSubscriberSubscribesDedupsAndMeasures(t *testing.T) {
+	n := transport.NewMem()
+	b1 := newFakeBroker(t, n, "b1")
+	b2 := newFakeBroker(t, n, "b2")
+	clk := clock()
+	var deliveries []Delivery
+	var mu sync.Mutex
+	sub, err := NewSubscriber(SubscriberOptions{
+		Name: "s", Topics: []spec.TopicID{7},
+		BrokerAddrs: []string{"b1", "b2"},
+		Network:     n, Clock: clk, Logger: quiet(),
+		OnDeliver: func(d Delivery) {
+			mu.Lock()
+			deliveries = append(deliveries, d)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Both brokers saw the subscription.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if len(b1.framesOf(wire.TypeSubscribe)) == 1 && len(b2.framesOf(wire.TypeSubscribe)) == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	subs := b1.framesOf(wire.TypeSubscribe)
+	if len(subs) != 1 || len(subs[0].Topics) != 1 || subs[0].Topics[0] != 7 {
+		t.Fatalf("b1 subscription frames: %+v", subs)
+	}
+
+	// Dispatch seq 1 and 2 from b1, and a duplicate of seq 1 from b2 (as
+	// happens during recovery re-dispatch).
+	send := func(fb *fakeBroker, seq uint64) {
+		fb.mu.Lock()
+		conns := append([]*transport.Conn(nil), fb.conns...)
+		fb.mu.Unlock()
+		for _, c := range conns {
+			c.Send(&wire.Frame{Type: wire.TypeDispatch, Msg: wire.Message{
+				Topic: 7, Seq: seq, Created: clk(), Payload: []byte("payload"),
+			}, Dispatched: clk()})
+		}
+	}
+	send(b1, 1)
+	send(b1, 2)
+	send(b2, 1) // duplicate
+
+	deadline = time.Now().Add(time.Second)
+	for sub.Received(7) < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := sub.Received(7); got != 2 {
+		t.Fatalf("Received = %d, want 2", got)
+	}
+	for sub.Duplicates() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := sub.Duplicates(); got != 1 {
+		t.Errorf("Duplicates = %d, want 1", got)
+	}
+	lats := sub.Latencies(7)
+	if len(lats) != 2 {
+		t.Fatalf("latency samples = %d", len(lats))
+	}
+	for _, l := range lats {
+		if l < 0 || l > time.Second {
+			t.Errorf("latency %v implausible", l)
+		}
+	}
+	mu.Lock()
+	if len(deliveries) != 2 {
+		t.Errorf("OnDeliver calls = %d, want 2 (no callback for dup)", len(deliveries))
+	}
+	mu.Unlock()
+	if got := sub.MaxConsecutiveLoss(7, 4); got != 2 {
+		t.Errorf("MaxConsecutiveLoss(.,4) = %d, want 2 (seqs 3,4 missing)", got)
+	}
+}
+
+func TestSubscriberIgnoresNonDispatchFrames(t *testing.T) {
+	n := transport.NewMem()
+	b1 := newFakeBroker(t, n, "b1")
+	sub, err := NewSubscriber(SubscriberOptions{
+		Name: "s", Topics: []spec.TopicID{1}, BrokerAddrs: []string{"b1"},
+		Network: n, Clock: clock(), Logger: quiet(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	deadline := time.Now().Add(time.Second)
+	for len(b1.framesOf(wire.TypeSubscribe)) < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	b1.mu.Lock()
+	conns := append([]*transport.Conn(nil), b1.conns...)
+	b1.mu.Unlock()
+	for _, c := range conns {
+		c.Send(&wire.Frame{Type: wire.TypePollReply, Nonce: 1})
+	}
+	time.Sleep(20 * time.Millisecond)
+	if sub.Received(1) != 0 {
+		t.Error("non-dispatch frame counted as delivery")
+	}
+}

@@ -1,0 +1,223 @@
+// Package clocksync synchronizes host clocks across the deployment.
+//
+// The paper's test-bed synchronizes local hosts via PTPd (error within
+// 0.05 ms) and the cloud subscriber via chrony/NTP (error within
+// milliseconds); FRAME's end-to-end latency measurements and deadline
+// assignments depend on that common timebase (§VI-A). This package is the
+// reproduction's equivalent substrate: an NTP-style four-timestamp
+// offset/delay estimator, a minimum-delay sample filter (the same idea as
+// NTP's clock filter and PTP's best-sample selection), and a proportional
+// servo that slews a local clock onto the server's timebase.
+//
+// Offset convention: offset = server_time − client_time, so a synchronized
+// reading is local() + offset.
+package clocksync
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Clock reads a local monotonic clock. Both the simulator (virtual time)
+// and the real stack (time.Since(start)) provide one.
+type Clock func() time.Duration
+
+// Sample is one request/response exchange: T1 client transmit, T2 server
+// receive, T3 server transmit, T4 client receive — exactly NTP's timestamp
+// quartet (RFC 5905 §8) and the PTP delay-request mechanism.
+type Sample struct {
+	T1, T2, T3, T4 time.Duration
+}
+
+// Offset estimates server−client clock offset assuming symmetric paths:
+// ((T2−T1) + (T3−T4)) / 2.
+func (s Sample) Offset() time.Duration {
+	return ((s.T2 - s.T1) + (s.T3 - s.T4)) / 2
+}
+
+// Delay is the round-trip network delay excluding server processing:
+// (T4−T1) − (T3−T2).
+func (s Sample) Delay() time.Duration {
+	return (s.T4 - s.T1) - (s.T3 - s.T2)
+}
+
+// Valid rejects causally impossible samples (negative delay).
+func (s Sample) Valid() bool { return s.Delay() >= 0 && s.T4 >= s.T1 }
+
+// Filter keeps the last window samples and selects the one with minimum
+// delay: low-delay exchanges bound the offset error most tightly, since the
+// asymmetry error of a sample is at most half its delay.
+type Filter struct {
+	window []Sample
+	size   int
+}
+
+// DefaultFilterWindow is the clock-filter depth (NTP uses 8).
+const DefaultFilterWindow = 8
+
+// NewFilter returns a filter with the given window (0 means default).
+func NewFilter(size int) *Filter {
+	if size <= 0 {
+		size = DefaultFilterWindow
+	}
+	return &Filter{size: size}
+}
+
+// Add inserts a sample, discarding invalid ones. It reports whether the
+// sample was kept.
+func (f *Filter) Add(s Sample) bool {
+	if !s.Valid() {
+		return false
+	}
+	if len(f.window) == f.size {
+		copy(f.window, f.window[1:])
+		f.window = f.window[:f.size-1]
+	}
+	f.window = append(f.window, s)
+	return true
+}
+
+// Best returns the minimum-delay sample in the window.
+func (f *Filter) Best() (Sample, bool) {
+	if len(f.window) == 0 {
+		return Sample{}, false
+	}
+	best := f.window[0]
+	for _, s := range f.window[1:] {
+		if s.Delay() < best.Delay() {
+			best = s
+		}
+	}
+	return best, true
+}
+
+// Len returns the number of retained samples.
+func (f *Filter) Len() int { return len(f.window) }
+
+// Synchronizer estimates and applies a clock offset for one upstream
+// server. It is safe for concurrent use: measurement goroutines feed Step
+// while readers call Now.
+type Synchronizer struct {
+	local Clock
+	// gain is the servo's proportional constant in (0, 1]: each Step moves
+	// the applied offset gain·(estimate − applied). 1 snaps immediately.
+	gain float64
+
+	mu      sync.Mutex
+	filter  *Filter
+	offset  time.Duration
+	synced  bool
+	stepped int
+}
+
+// NewSynchronizer returns a synchronizer over the local clock. gain in
+// (0,1]; 0 picks the default 0.5 (halving convergence like PTPd's servo).
+func NewSynchronizer(local Clock, gain float64) (*Synchronizer, error) {
+	if local == nil {
+		return nil, errors.New("clocksync: nil local clock")
+	}
+	if gain < 0 || gain > 1 {
+		return nil, fmt.Errorf("clocksync: gain %v outside [0,1]", gain)
+	}
+	if gain == 0 {
+		gain = 0.5
+	}
+	return &Synchronizer{local: local, gain: gain, filter: NewFilter(0)}, nil
+}
+
+// Step feeds one exchange sample and updates the applied offset. The first
+// valid sample snaps the clock (like ntpd's initial step); later samples
+// slew by the servo gain toward the filtered estimate.
+func (s *Synchronizer) Step(sample Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.filter.Add(sample) {
+		return
+	}
+	best, ok := s.filter.Best()
+	if !ok {
+		return
+	}
+	estimate := best.Offset()
+	if !s.synced {
+		s.offset = estimate
+		s.synced = true
+		s.stepped++
+		return
+	}
+	delta := estimate - s.offset
+	s.offset += time.Duration(float64(delta) * s.gain)
+	s.stepped++
+}
+
+// Now returns the local clock corrected onto the server timebase.
+func (s *Synchronizer) Now() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.local() + s.offset
+}
+
+// Offset returns the currently applied offset.
+func (s *Synchronizer) Offset() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.offset
+}
+
+// Synced reports whether at least one valid sample has been applied.
+func (s *Synchronizer) Synced() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.synced
+}
+
+// Steps returns how many valid samples have been applied.
+func (s *Synchronizer) Steps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stepped
+}
+
+// Exchange performs one timestamp exchange over a framed connection: it
+// sends TimeReq with T1, waits for the matching TimeResp, and returns the
+// completed sample. The caller owns read access to the connection for the
+// duration of the call.
+func Exchange(conn *transport.Conn, local Clock, nonce uint64) (Sample, error) {
+	t1 := local()
+	if err := conn.Send(&wire.Frame{Type: wire.TypeTimeReq, Nonce: nonce, T1: t1}); err != nil {
+		return Sample{}, fmt.Errorf("clocksync: send: %w", err)
+	}
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return Sample{}, fmt.Errorf("clocksync: recv: %w", err)
+		}
+		if f.Type != wire.TypeTimeResp || f.Nonce != nonce {
+			continue // unrelated traffic on a shared link
+		}
+		return Sample{T1: f.T1, T2: f.T2, T3: f.T3, T4: local()}, nil
+	}
+}
+
+// Respond answers one TimeReq frame with the server-side timestamps. The
+// broker runtime calls this inline from its read loop, so T2≈T3 (server
+// processing is sub-microsecond).
+func Respond(conn *transport.Conn, local Clock, req *wire.Frame) error {
+	t2 := local()
+	resp := &wire.Frame{
+		Type:  wire.TypeTimeResp,
+		Nonce: req.Nonce,
+		T1:    req.T1,
+		T2:    t2,
+		T3:    local(),
+	}
+	if err := conn.Send(resp); err != nil {
+		return fmt.Errorf("clocksync: respond: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package clocksync
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// RunnerOptions configures a background synchronization loop.
+type RunnerOptions struct {
+	// ServerAddr is the time server (normally the Primary broker, which
+	// answers TimeReq frames on any session).
+	ServerAddr string
+	// Network supplies dialing.
+	Network transport.Network
+	// Local is the clock being disciplined.
+	Local Clock
+	// Interval between exchanges (default 1 s, PTPd's default sync rate).
+	Interval time.Duration
+	// Timeout bounds one exchange round trip (default 500 ms).
+	Timeout time.Duration
+	// Gain is the servo constant (0 = default).
+	Gain float64
+}
+
+// Runner periodically exchanges timestamps with a server and maintains a
+// Synchronizer. It is the reproduction's equivalent of running ptpd/chrony
+// on every host of the paper's test-bed (§VI-A).
+type Runner struct {
+	opts RunnerOptions
+	sync *Synchronizer
+}
+
+// NewRunner validates options and builds the disciplined clock.
+func NewRunner(opts RunnerOptions) (*Runner, error) {
+	if opts.Network == nil {
+		return nil, errors.New("clocksync: nil network")
+	}
+	if opts.ServerAddr == "" {
+		return nil, errors.New("clocksync: empty server address")
+	}
+	if opts.Interval == 0 {
+		opts.Interval = time.Second
+	}
+	if opts.Interval < 0 || opts.Timeout < 0 {
+		return nil, fmt.Errorf("clocksync: negative interval or timeout")
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 500 * time.Millisecond
+	}
+	s, err := NewSynchronizer(opts.Local, opts.Gain)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{opts: opts, sync: s}, nil
+}
+
+// Clock returns the disciplined clock: local time corrected by the current
+// offset estimate. Valid (but uncorrected) before the first exchange.
+func (r *Runner) Clock() Clock { return r.sync.Now }
+
+// Synchronizer exposes the underlying estimator (for status reporting).
+func (r *Runner) Synchronizer() *Synchronizer { return r.sync }
+
+// Run dials the server and keeps exchanging until the context ends. It
+// redials on connection failure, returning only on context cancellation.
+func (r *Runner) Run(ctx context.Context) error {
+	ticker := time.NewTicker(r.opts.Interval)
+	defer ticker.Stop()
+	var conn *transport.Conn
+	var nonce uint64
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		if conn == nil {
+			nc, err := r.opts.Network.Dial(r.opts.ServerAddr)
+			if err == nil {
+				conn = transport.NewConn(nc)
+				err = conn.Send(&wire.Frame{Type: wire.TypeHello, Role: wire.RoleSubscriber, Name: "clocksync"})
+				if err != nil {
+					conn.Close()
+					conn = nil
+				}
+			}
+		}
+		if conn != nil {
+			nonce++
+			if err := conn.SetReadDeadline(time.Now().Add(r.opts.Timeout)); err == nil {
+				sample, err := Exchange(conn, r.sync.local, nonce)
+				if err != nil {
+					conn.Close()
+					conn = nil
+				} else {
+					r.sync.Step(sample)
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package clocksync
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// startTimeServer runs a responder with the given clock on a mem network.
+func startTimeServer(t *testing.T, n transport.Network, addr string, clk Clock) {
+	t.Helper()
+	ln, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn := transport.NewConn(nc)
+			go func() {
+				defer conn.Close()
+				for {
+					f, err := conn.Recv()
+					if err != nil {
+						return
+					}
+					if f.Type == wire.TypeTimeReq {
+						if err := Respond(conn, clk, f); err != nil {
+							return
+						}
+					}
+				}
+			}()
+		}
+	}()
+}
+
+func TestRunnerValidation(t *testing.T) {
+	n := transport.NewMem()
+	local := func() time.Duration { return 0 }
+	tests := []struct {
+		name string
+		opts RunnerOptions
+	}{
+		{"nil network", RunnerOptions{ServerAddr: "a", Local: local}},
+		{"empty addr", RunnerOptions{Network: n, Local: local}},
+		{"nil clock", RunnerOptions{Network: n, ServerAddr: "a"}},
+		{"negative interval", RunnerOptions{Network: n, ServerAddr: "a", Local: local, Interval: -time.Second}},
+		{"bad gain", RunnerOptions{Network: n, ServerAddr: "a", Local: local, Gain: 2}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewRunner(tc.opts); err == nil {
+				t.Error("invalid options accepted")
+			}
+		})
+	}
+}
+
+func TestRunnerDisciplinesSkewedClock(t *testing.T) {
+	n := transport.NewMem()
+	start := time.Now()
+	// Server runs 25ms ahead of the client's local clock.
+	serverClock := func() time.Duration { return time.Since(start) + 25*time.Millisecond }
+	localClock := func() time.Duration { return time.Since(start) }
+	startTimeServer(t, n, "primary", serverClock)
+
+	r, err := NewRunner(RunnerOptions{
+		ServerAddr: "primary", Network: n, Local: localClock,
+		Interval: 5 * time.Millisecond, Timeout: 100 * time.Millisecond, Gain: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.Run(ctx) }()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && r.Synchronizer().Steps() < 5 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want canceled", err)
+	}
+	if !r.Synchronizer().Synced() {
+		t.Fatal("never synced")
+	}
+	// The disciplined clock must track the server within a millisecond
+	// (mem-pipe delays are tens of microseconds).
+	diff := r.Clock()() - serverClock()
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Millisecond {
+		t.Errorf("disciplined clock off by %v (offset estimate %v, want ≈25ms)",
+			diff, r.Synchronizer().Offset())
+	}
+}
+
+func TestRunnerSurvivesServerRestart(t *testing.T) {
+	n := transport.NewMem()
+	start := time.Now()
+	clk := func() time.Duration { return time.Since(start) }
+
+	// No server at first: the runner should keep retrying without error.
+	r, err := NewRunner(RunnerOptions{
+		ServerAddr: "primary", Network: n, Local: clk,
+		Interval: 5 * time.Millisecond, Timeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- r.Run(ctx) }()
+
+	time.Sleep(30 * time.Millisecond)
+	if r.Synchronizer().Synced() {
+		t.Fatal("synced with no server")
+	}
+	startTimeServer(t, n, "primary", clk)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && !r.Synchronizer().Synced() {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !r.Synchronizer().Synced() {
+		t.Fatal("never recovered after server came up")
+	}
+	cancel()
+	<-done
+}

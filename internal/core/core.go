@@ -1,0 +1,587 @@
+// Package core implements the FRAME architecture's broker-side state
+// machine (paper §IV): the Message Proxy with its Job Generator, the
+// Message Buffer and Backup Buffer, deadline assignment per Lemmas 1–2,
+// selective replication per Proposition 1, the dispatch–replicate
+// coordination algorithm of Table 3, and the recovery procedure that prunes
+// the set of message copies to re-dispatch after a promotion.
+//
+// The engine is a deterministic, transport-free state machine: callers feed
+// it arrivals and completed work, and it hands back jobs and coordination
+// commands. Two runtimes drive it — the real-time broker in package broker
+// (goroutine worker pool over TCP) and the discrete-event simulator in
+// package simcluster (virtual time). Keeping the contribution here, behind
+// a synchronous API, is what lets both stacks share one implementation.
+//
+// The engine is not safe for concurrent use; runtimes serialize access.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/queue"
+	"repro/internal/ringbuf"
+	"repro/internal/spec"
+	"repro/internal/timing"
+	"repro/internal/wire"
+)
+
+// Config selects the scheduling and fault-tolerance behavior of an engine.
+// The four evaluation configurations of §VI map to:
+//
+//	FRAME:  {Policy: EDF,  SelectiveReplication: true,  Coordination: true}
+//	FRAME+: same as FRAME with the workload's Ni raised (spec.BoostRetention)
+//	FCFS:   {Policy: FCFS, SelectiveReplication: false, Coordination: true}
+//	FCFS−:  {Policy: FCFS, SelectiveReplication: false, Coordination: false}
+type Config struct {
+	// Params are the deployment timing parameters used for deadline
+	// computation (ΔBS per destination, ΔBB, fail-over time x).
+	Params timing.Params
+	// Policy picks the job queue discipline.
+	Policy queue.Policy
+	// SelectiveReplication enables Proposition 1: topics whose dispatch
+	// deadline is no later than their replication deadline are not
+	// replicated at all.
+	SelectiveReplication bool
+	// Coordination enables the Table 3 dispatch–replicate coordination:
+	// dispatched messages abort their pending replication and prune their
+	// Backup copy.
+	Coordination bool
+	// ReplicateFirst makes the Job Generator enqueue the replication job
+	// before the dispatch job for each arrival, as the FCFS baselines do
+	// ("the Primary first performed replication and then dispatch", §VI-A).
+	// Under EDF the queue order is deadline-driven and this only breaks
+	// ties.
+	ReplicateFirst bool
+	// MessageBufferCap is the per-topic Message Buffer capacity. Zero means
+	// DefaultMessageBufferCap.
+	MessageBufferCap int
+	// BackupBufferCap is the per-topic Backup Buffer capacity. Zero means
+	// DefaultBackupBufferCap (ten, the §VI-C setting).
+	BackupBufferCap int
+	// HasBackup declares whether a Backup broker exists to replicate to.
+	// A promoted Backup runs with HasBackup=false: the paper's scope is one
+	// broker failure, so the new Primary does not re-replicate.
+	HasBackup bool
+}
+
+// Default buffer capacities.
+const (
+	DefaultMessageBufferCap = 16
+	// DefaultBackupBufferCap follows §VI-C: "We set the size of the Backup
+	// Buffer to ten for each topic."
+	DefaultBackupBufferCap = 10
+)
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.Policy != queue.PolicyEDF && c.Policy != queue.PolicyFCFS {
+		return fmt.Errorf("core: unknown policy %d", int(c.Policy))
+	}
+	if c.MessageBufferCap < 0 || c.BackupBufferCap < 0 {
+		return fmt.Errorf("core: negative buffer capacity")
+	}
+	return nil
+}
+
+// FRAMEConfig returns the FRAME configuration of §VI over the given params.
+func FRAMEConfig(p timing.Params) Config {
+	return Config{
+		Params:               p,
+		Policy:               queue.PolicyEDF,
+		SelectiveReplication: true,
+		Coordination:         true,
+		HasBackup:            true,
+	}
+}
+
+// FCFSConfig returns the FCFS baseline of §VI: no differentiation, arrival
+// order, replicate-then-dispatch, with coordination.
+func FCFSConfig(p timing.Params) Config {
+	return Config{
+		Params:         p,
+		Policy:         queue.PolicyFCFS,
+		Coordination:   true,
+		ReplicateFirst: true,
+		HasBackup:      true,
+	}
+}
+
+// FCFSMinusConfig returns FCFS−: FCFS without dispatch–replicate
+// coordination.
+func FCFSMinusConfig(p timing.Params) Config {
+	cfg := FCFSConfig(p)
+	cfg.Coordination = false
+	return cfg
+}
+
+// entry is one message copy in the Message Buffer or Backup Buffer, with
+// the Table 3 flags.
+type entry struct {
+	msg            wire.Message
+	arrivedPrimary time.Duration // tp of the original arrival
+	dispatched     bool
+	replicating    bool // replicate work handed to a Replicator (in flight)
+	replicated     bool
+	discard        bool
+}
+
+// topicState is the engine's per-topic bookkeeping.
+type topicState struct {
+	spec spec.Topic
+	// Pseudo relative deadlines (§IV-A), computed once at AddTopic.
+	dispatchPseudo    time.Duration
+	replicationPseudo time.Duration
+	// replicate is the configuration-time Proposition 1 verdict.
+	replicate bool
+
+	buffer *ringbuf.Ring[entry] // Message Buffer (Primary role)
+	backup *ringbuf.Ring[entry] // Backup Buffer (Backup role)
+
+	// pendingPrunes records Discard requests that arrived before their
+	// replica (Prune and Replicate frames race on independent paths through
+	// the delivery pool). Bounded FIFO: at most BackupBufferCap entries.
+	pendingPrunes map[uint64]bool
+	pruneOrder    []uint64
+}
+
+// notePendingPrune records an early prune, evicting the oldest once the set
+// reaches the Backup Buffer capacity (an older pending prune whose replica
+// still has not arrived refers to a send that failed; dropping it is safe).
+func (st *topicState) notePendingPrune(seq uint64, capacity int) {
+	if st.pendingPrunes == nil {
+		st.pendingPrunes = make(map[uint64]bool, capacity)
+	}
+	if st.pendingPrunes[seq] {
+		return
+	}
+	if len(st.pruneOrder) >= capacity {
+		oldest := st.pruneOrder[0]
+		st.pruneOrder = st.pruneOrder[1:]
+		delete(st.pendingPrunes, oldest)
+	}
+	st.pendingPrunes[seq] = true
+	st.pruneOrder = append(st.pruneOrder, seq)
+}
+
+// takePendingPrune consumes an early prune for seq if one is recorded.
+func (st *topicState) takePendingPrune(seq uint64) bool {
+	if !st.pendingPrunes[seq] {
+		return false
+	}
+	delete(st.pendingPrunes, seq)
+	for i, s := range st.pruneOrder {
+		if s == seq {
+			st.pruneOrder = append(st.pruneOrder[:i], st.pruneOrder[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Stats counts engine activity for the Fig. 7 accounting and for tests.
+type Stats struct {
+	Published        uint64 // messages accepted by the proxy
+	DispatchJobs     uint64 // dispatch jobs generated
+	ReplicationJobs  uint64 // replication jobs generated
+	SuppressedTopics uint64 // topics whose replication Prop. 1 removed
+	AbortedReplicas  uint64 // replication jobs aborted (Table 3 Replicate.1)
+	PrunesSent       uint64 // prune requests issued (Table 3 Dispatch.3)
+	PrunesApplied    uint64 // Discard flags set on the Backup
+	ReplicasStored   uint64 // copies stored in the Backup Buffer
+	RecoveryJobs     uint64 // dispatch jobs created during promotion
+	RecoverySkipped  uint64 // Backup Buffer entries skipped via Discard
+	EvictedMessages  uint64 // Message Buffer evictions (ring wrap-around)
+}
+
+// Engine is the FRAME broker state machine. One Engine instance plays one
+// role at a time: Primary (OnPublish/OnDispatched/OnReplicated) or Backup
+// (OnReplica/OnPrune), switching roles at Promote.
+type Engine struct {
+	cfg    Config
+	topics map[spec.TopicID]*topicState
+	jobs   queue.Queue
+	stats  Stats
+}
+
+// New returns an engine with no topics.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MessageBufferCap == 0 {
+		cfg.MessageBufferCap = DefaultMessageBufferCap
+	}
+	if cfg.BackupBufferCap == 0 {
+		cfg.BackupBufferCap = DefaultBackupBufferCap
+	}
+	return &Engine{
+		cfg:    cfg,
+		topics: make(map[spec.TopicID]*topicState),
+		jobs:   queue.New(cfg.Policy),
+	}, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a snapshot of the activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// QueueLen returns the number of pending jobs.
+func (e *Engine) QueueLen() int { return e.jobs.Len() }
+
+// AddTopic registers a topic, computing its pseudo relative deadlines
+// Dd' = Di − ΔBS and Dr' = (Ni+Li)·Ti − ΔBB − x (§IV-A) and the
+// Proposition 1 replication verdict. It rejects topics that fail the
+// admission test of §III-D-1.
+func (e *Engine) AddTopic(t spec.Topic) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, ok := e.topics[t.ID]; ok {
+		return fmt.Errorf("core: topic %d already registered", t.ID)
+	}
+	if err := timing.Admissible(t, e.cfg.Params); err != nil {
+		return err
+	}
+	st := &topicState{
+		spec:              t,
+		dispatchPseudo:    timing.DispatchPseudoDeadline(t, e.cfg.Params),
+		replicationPseudo: timing.ReplicationPseudoDeadline(t, e.cfg.Params),
+		buffer:            ringbuf.New[entry](e.cfg.MessageBufferCap),
+		backup:            ringbuf.New[entry](e.cfg.BackupBufferCap),
+	}
+	st.replicate = e.needsReplication(t)
+	if !st.replicate && !t.BestEffort() {
+		e.stats.SuppressedTopics++
+	}
+	e.topics[t.ID] = st
+	return nil
+}
+
+// needsReplication decides at configuration time whether replication jobs
+// will be generated for the topic.
+func (e *Engine) needsReplication(t spec.Topic) bool {
+	if !e.cfg.HasBackup {
+		return false
+	}
+	if t.BestEffort() {
+		// Best-effort subscribers ask for nothing; even the FCFS baseline
+		// has no contract to protect, but the undifferentiated baseline
+		// replicates everything anyway — that is exactly its flaw.
+		if e.cfg.SelectiveReplication {
+			return false
+		}
+		return true
+	}
+	if !e.cfg.SelectiveReplication {
+		return true
+	}
+	return timing.NeedsReplication(t, e.cfg.Params)
+}
+
+// Topic returns the registered spec for id.
+func (e *Engine) Topic(id spec.TopicID) (spec.Topic, bool) {
+	st, ok := e.topics[id]
+	if !ok {
+		return spec.Topic{}, false
+	}
+	return st.spec, true
+}
+
+// WillReplicate reports the configuration-time replication verdict for id.
+func (e *Engine) WillReplicate(id spec.TopicID) bool {
+	st, ok := e.topics[id]
+	return ok && st.replicate
+}
+
+// Topics returns the IDs of all registered topics (unspecified order).
+func (e *Engine) Topics() []spec.TopicID {
+	ids := make([]spec.TopicID, 0, len(e.topics))
+	for id := range e.topics {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// OnPublish accepts a message arrival at the broker at local time now (tp)
+// and generates its dispatch job and, if the topic replicates, its
+// replication job (§IV-A). The Job Generator derives absolute deadlines by
+// subtracting the observed ΔPB = now − m.Created from the pseudo relative
+// deadlines, which lands on tc + Dd' and tc + Dr'.
+func (e *Engine) OnPublish(m wire.Message, now time.Duration) error {
+	st, ok := e.topics[m.Topic]
+	if !ok {
+		return fmt.Errorf("core: publish to unknown topic %d", m.Topic)
+	}
+	e.stats.Published++
+	ent := entry{msg: m, arrivedPrimary: now}
+	idx, evicted := st.buffer.Push(ent)
+	if evicted {
+		e.stats.EvictedMessages++
+	}
+
+	dispatch := queue.Job{
+		Kind:        queue.KindDispatch,
+		Topic:       m.Topic,
+		Seq:         m.Seq,
+		BufferIndex: idx,
+		Release:     now,
+		Deadline:    m.Created + st.dispatchPseudo,
+	}
+	var replicate *queue.Job
+	if st.replicate {
+		j := queue.Job{
+			Kind:        queue.KindReplicate,
+			Topic:       m.Topic,
+			Seq:         m.Seq,
+			BufferIndex: idx,
+			Release:     now,
+			Deadline:    deadlineOrMax(m.Created, st.replicationPseudo),
+		}
+		replicate = &j
+		e.stats.ReplicationJobs++
+	}
+	e.stats.DispatchJobs++
+
+	if replicate != nil && e.cfg.ReplicateFirst {
+		e.jobs.Push(*replicate)
+		e.jobs.Push(dispatch)
+		return nil
+	}
+	e.jobs.Push(dispatch)
+	if replicate != nil {
+		e.jobs.Push(*replicate)
+	}
+	return nil
+}
+
+func deadlineOrMax(created, pseudo time.Duration) time.Duration {
+	if pseudo == timing.NoDeadline {
+		return timing.NoDeadline
+	}
+	return created + pseudo
+}
+
+// WorkKind is what a popped job resolved to.
+type WorkKind int
+
+// Work kinds.
+const (
+	// WorkNone means the job is stale (evicted or aborted); do nothing.
+	WorkNone WorkKind = iota
+	// WorkDispatch means push Msg to the topic's subscribers.
+	WorkDispatch
+	// WorkReplicate means push Msg to the Backup.
+	WorkReplicate
+)
+
+// Work is the resolved action for a popped job.
+type Work struct {
+	Kind WorkKind
+	Job  queue.Job
+	Msg  wire.Message
+	// ArrivedPrimary is tp for replicate frames and for recovery dispatches.
+	ArrivedPrimary time.Duration
+}
+
+// NextWork pops the next job and resolves it against the buffers and the
+// Table 3 flags, applying the Replicate-step-1 abort ("if Dispatched is
+// True, abort") when coordination is on. It returns ok=false when the queue
+// is empty.
+func (e *Engine) NextWork() (Work, bool) {
+	for {
+		j, ok := e.jobs.Pop()
+		if !ok {
+			return Work{}, false
+		}
+		w := e.resolve(j)
+		if w.Kind == WorkNone {
+			continue
+		}
+		return w, true
+	}
+}
+
+// PeekDeadline returns the deadline of the next job without popping.
+func (e *Engine) PeekDeadline() (time.Duration, bool) {
+	j, ok := e.jobs.Peek()
+	if !ok {
+		return 0, false
+	}
+	return j.Deadline, true
+}
+
+func (e *Engine) resolve(j queue.Job) Work {
+	st, ok := e.topics[j.Topic]
+	if !ok {
+		return Work{Kind: WorkNone}
+	}
+	buf := st.buffer
+	if j.Recovery {
+		buf = st.backup
+	}
+	ent, ok := buf.Get(j.BufferIndex)
+	if !ok || ent.msg.Seq != j.Seq {
+		// Evicted or overwritten since the job was generated.
+		return Work{Kind: WorkNone}
+	}
+	switch j.Kind {
+	case queue.KindDispatch:
+		if ent.dispatched {
+			return Work{Kind: WorkNone}
+		}
+		return Work{Kind: WorkDispatch, Job: j, Msg: ent.msg, ArrivedPrimary: ent.arrivedPrimary}
+	case queue.KindReplicate:
+		if e.cfg.Coordination && ent.dispatched {
+			e.stats.AbortedReplicas++
+			return Work{Kind: WorkNone}
+		}
+		// Mark the replication in flight at hand-out time so a dispatch that
+		// completes while the Replicator is still sending knows a replica
+		// will exist at the Backup and must be pruned. Without this, the
+		// Backup would keep a stale copy and re-dispatch it at recovery.
+		buf.Update(j.BufferIndex, func(p *entry) { p.replicating = true })
+		return Work{Kind: WorkReplicate, Job: j, Msg: ent.msg, ArrivedPrimary: ent.arrivedPrimary}
+	default:
+		return Work{Kind: WorkNone}
+	}
+}
+
+// Coordination is the engine's instruction to the runtime after a dispatch
+// completes (Table 3, Dispatch steps 2–3).
+type Coordination struct {
+	// SendPrune asks the runtime to send a Prune frame for (Topic, Seq) to
+	// the Backup, because a replica of a now-dispatched message is there.
+	SendPrune bool
+	Topic     spec.TopicID
+	Seq       uint64
+}
+
+// OnDispatched records the completion of a dispatch job: the message went
+// out to every subscriber. It sets the Dispatched flag and, when
+// coordination is on and a replica was already sent, requests a prune.
+func (e *Engine) OnDispatched(j queue.Job) Coordination {
+	st, ok := e.topics[j.Topic]
+	if !ok {
+		return Coordination{}
+	}
+	buf := st.buffer
+	if j.Recovery {
+		buf = st.backup
+	}
+	var replicated bool
+	buf.Update(j.BufferIndex, func(ent *entry) {
+		ent.dispatched = true
+		replicated = ent.replicated || ent.replicating
+	})
+	if e.cfg.Coordination && replicated && e.cfg.HasBackup {
+		e.stats.PrunesSent++
+		return Coordination{SendPrune: true, Topic: j.Topic, Seq: j.Seq}
+	}
+	return Coordination{}
+}
+
+// OnReplicated records the completion of a replication job (Table 3,
+// Replicate step 3).
+func (e *Engine) OnReplicated(j queue.Job) {
+	st, ok := e.topics[j.Topic]
+	if !ok {
+		return
+	}
+	st.buffer.Update(j.BufferIndex, func(ent *entry) { ent.replicated = true })
+}
+
+// OnReplica stores a message copy arriving from the Primary into the Backup
+// Buffer (Backup role). arrivedPrimary is the original tp carried in the
+// Replicate frame.
+func (e *Engine) OnReplica(m wire.Message, arrivedPrimary time.Duration) error {
+	st, ok := e.topics[m.Topic]
+	if !ok {
+		return fmt.Errorf("core: replica for unknown topic %d", m.Topic)
+	}
+	ent := entry{msg: m, arrivedPrimary: arrivedPrimary}
+	if st.takePendingPrune(m.Seq) {
+		ent.discard = true
+		e.stats.PrunesApplied++
+	}
+	st.backup.Push(ent)
+	e.stats.ReplicasStored++
+	return nil
+}
+
+// OnPrune applies a Discard request from the Primary (Table 3, Recovery
+// step 1 precondition). Unknown sequence numbers are ignored: the copy may
+// already have been evicted by ring wrap-around.
+func (e *Engine) OnPrune(topic spec.TopicID, seq uint64) {
+	st, ok := e.topics[topic]
+	if !ok {
+		return
+	}
+	found := false
+	st.backup.Do(func(idx uint64, ent entry) {
+		if ent.msg.Seq == seq {
+			found = true
+			if !ent.discard {
+				st.backup.Update(idx, func(p *entry) { p.discard = true })
+				e.stats.PrunesApplied++
+			}
+		}
+	})
+	if !found {
+		// The prune outran its replica; remember it until the copy arrives.
+		st.notePendingPrune(seq, st.backup.Capacity())
+	}
+}
+
+// BackupBufferLen returns the number of live (non-discarded) copies in the
+// topic's Backup Buffer; used by tests and the Fig. 9 analysis.
+func (e *Engine) BackupBufferLen(topic spec.TopicID) int {
+	st, ok := e.topics[topic]
+	if !ok {
+		return 0
+	}
+	n := 0
+	st.backup.Do(func(_ uint64, ent entry) {
+		if !ent.discard {
+			n++
+		}
+	})
+	return n
+}
+
+// Promote turns a Backup engine into the new Primary (§IV-A fault
+// recovery): for every non-discarded Backup Buffer copy whose original has
+// not been dispatched, it creates a dispatch job referring to the Backup
+// Buffer, then disables further replication (the failed broker is gone).
+// The dispatch deadlines keep the original creation times, so under EDF the
+// backlog interleaves correctly with fresh arrivals.
+func (e *Engine) Promote() {
+	e.cfg.HasBackup = false
+	for _, st := range e.topics {
+		st.replicate = false
+		st.backup.Do(func(idx uint64, ent entry) {
+			if ent.discard {
+				e.stats.RecoverySkipped++
+				return
+			}
+			if ent.dispatched {
+				return
+			}
+			e.stats.RecoveryJobs++
+			e.jobs.Push(queue.Job{
+				Kind:        queue.KindDispatch,
+				Topic:       st.spec.ID,
+				Seq:         ent.msg.Seq,
+				BufferIndex: idx,
+				Release:     ent.arrivedPrimary,
+				Deadline:    ent.msg.Created + st.dispatchPseudo,
+				Recovery:    true,
+			})
+		})
+	}
+}

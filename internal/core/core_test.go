@@ -1,0 +1,674 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/queue"
+	"repro/internal/spec"
+	"repro/internal/timing"
+	"repro/internal/wire"
+)
+
+func newEngine(t *testing.T, cfg Config, topics ...spec.Topic) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, top := range topics {
+		if err := e.AddTopic(top); err != nil {
+			t.Fatalf("AddTopic(%d): %v", top.ID, err)
+		}
+	}
+	return e
+}
+
+func paperTopic(t *testing.T, cat int, id spec.TopicID) spec.Topic {
+	t.Helper()
+	return spec.Table2()[cat].Stamp(id, spec.PayloadSize)
+}
+
+func msg(topic spec.TopicID, seq uint64, created time.Duration) wire.Message {
+	return wire.Message{Topic: topic, Seq: seq, Created: created, Payload: []byte("0123456789abcdef")}
+}
+
+func TestConfigConstructors(t *testing.T) {
+	p := timing.PaperParams()
+	f := FRAMEConfig(p)
+	if f.Policy != queue.PolicyEDF || !f.SelectiveReplication || !f.Coordination || !f.HasBackup {
+		t.Errorf("FRAMEConfig = %+v", f)
+	}
+	c := FCFSConfig(p)
+	if c.Policy != queue.PolicyFCFS || c.SelectiveReplication || !c.Coordination || !c.ReplicateFirst {
+		t.Errorf("FCFSConfig = %+v", c)
+	}
+	m := FCFSMinusConfig(p)
+	if m.Coordination {
+		t.Error("FCFSMinusConfig has coordination on")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := FRAMEConfig(timing.PaperParams())
+	bad.Policy = 0
+	if _, err := New(bad); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	bad = FRAMEConfig(timing.PaperParams())
+	bad.MessageBufferCap = -1
+	if _, err := New(bad); err == nil {
+		t.Error("negative buffer cap accepted")
+	}
+	bad = FRAMEConfig(timing.Params{Failover: -time.Second})
+	if _, err := New(bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestAddTopicAdmissionAndDuplicates(t *testing.T) {
+	e := newEngine(t, FRAMEConfig(timing.PaperParams()))
+	top := paperTopic(t, 0, 1)
+	if err := e.AddTopic(top); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddTopic(top); err == nil {
+		t.Error("duplicate topic accepted")
+	}
+	inadmissible := paperTopic(t, 0, 2)
+	inadmissible.Retention = 0 // Dr < 0 with Li=0
+	if err := e.AddTopic(inadmissible); err == nil {
+		t.Error("inadmissible topic accepted")
+	}
+	invalid := paperTopic(t, 0, 3)
+	invalid.Period = 0
+	if err := e.AddTopic(invalid); err == nil {
+		t.Error("invalid topic accepted")
+	}
+	if got, ok := e.Topic(1); !ok || got.ID != 1 {
+		t.Error("Topic(1) lookup failed")
+	}
+	if _, ok := e.Topic(99); ok {
+		t.Error("Topic(99) found")
+	}
+	if len(e.Topics()) != 1 {
+		t.Errorf("Topics = %v", e.Topics())
+	}
+}
+
+// TestSelectiveReplicationVerdicts reproduces §III-D-2 inside the engine:
+// under FRAME only categories 2 and 5 replicate; under FCFS everything does.
+func TestSelectiveReplicationVerdicts(t *testing.T) {
+	var topics []spec.Topic
+	for c := 0; c < 6; c++ {
+		topics = append(topics, paperTopic(t, c, spec.TopicID(c)))
+	}
+
+	frame := newEngine(t, FRAMEConfig(timing.PaperParams()), topics...)
+	wantFrame := map[spec.TopicID]bool{0: false, 1: false, 2: true, 3: false, 4: false, 5: true}
+	for id, want := range wantFrame {
+		if got := frame.WillReplicate(id); got != want {
+			t.Errorf("FRAME WillReplicate(%d) = %v, want %v", id, got, want)
+		}
+	}
+	if frame.Stats().SuppressedTopics != 3 { // categories 0, 1, 3
+		t.Errorf("SuppressedTopics = %d, want 3", frame.Stats().SuppressedTopics)
+	}
+
+	fcfs := newEngine(t, FCFSConfig(timing.PaperParams()), topics...)
+	for _, id := range fcfs.Topics() {
+		if !fcfs.WillReplicate(id) {
+			t.Errorf("FCFS WillReplicate(%d) = false, want true", id)
+		}
+	}
+}
+
+func TestFRAMEPlusRetentionBoostSuppressesAllReplication(t *testing.T) {
+	e := newEngine(t, FRAMEConfig(timing.PaperParams()))
+	for c := 0; c < 6; c++ {
+		top := paperTopic(t, c, spec.TopicID(c))
+		if c == 2 || c == 5 {
+			top.Retention++ // FRAME+ (§VI: Ni = 2 for categories 2 and 5)
+		}
+		if err := e.AddTopic(top); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range e.Topics() {
+		if e.WillReplicate(id) {
+			t.Errorf("FRAME+ still replicates topic %d", id)
+		}
+	}
+}
+
+func TestOnPublishGeneratesJobsWithPaperDeadlines(t *testing.T) {
+	e := newEngine(t, FRAMEConfig(timing.PaperParams()),
+		paperTopic(t, 2, 2)) // cat 2 replicates: Dd'=99ms, Dr'=49.95ms
+	created := 10 * time.Millisecond
+	now := created + 300*time.Microsecond // ΔPB = 0.3ms
+	if err := e.OnPublish(msg(2, 1, created), now); err != nil {
+		t.Fatal(err)
+	}
+	if e.QueueLen() != 2 {
+		t.Fatalf("QueueLen = %d, want 2 (dispatch+replicate)", e.QueueLen())
+	}
+	// Under EDF the replication job (tc+49.95ms) precedes dispatch (tc+99ms).
+	w, ok := e.NextWork()
+	if !ok || w.Kind != WorkReplicate {
+		t.Fatalf("first work = %+v, want replicate", w)
+	}
+	wantR := created + 49950*time.Microsecond
+	if w.Job.Deadline != wantR {
+		t.Errorf("replicate deadline = %v, want %v", w.Job.Deadline, wantR)
+	}
+	e.OnReplicated(w.Job)
+	w, ok = e.NextWork()
+	if !ok || w.Kind != WorkDispatch {
+		t.Fatalf("second work = %+v, want dispatch", w)
+	}
+	if want := created + 99*time.Millisecond; w.Job.Deadline != want {
+		t.Errorf("dispatch deadline = %v, want %v", w.Job.Deadline, want)
+	}
+	if w.ArrivedPrimary != now {
+		t.Errorf("ArrivedPrimary = %v, want %v", w.ArrivedPrimary, now)
+	}
+}
+
+func TestOnPublishUnknownTopic(t *testing.T) {
+	e := newEngine(t, FRAMEConfig(timing.PaperParams()))
+	if err := e.OnPublish(msg(9, 1, 0), 0); err == nil {
+		t.Error("publish to unknown topic accepted")
+	}
+}
+
+func TestNonReplicatedTopicGetsOnlyDispatchJob(t *testing.T) {
+	e := newEngine(t, FRAMEConfig(timing.PaperParams()), paperTopic(t, 0, 0))
+	if err := e.OnPublish(msg(0, 1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if e.QueueLen() != 1 {
+		t.Errorf("QueueLen = %d, want 1", e.QueueLen())
+	}
+	st := e.Stats()
+	if st.DispatchJobs != 1 || st.ReplicationJobs != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFCFSOrderReplicateThenDispatch(t *testing.T) {
+	e := newEngine(t, FCFSConfig(timing.PaperParams()), paperTopic(t, 0, 0))
+	if err := e.OnPublish(msg(0, 1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := e.NextWork()
+	if w.Kind != WorkReplicate {
+		t.Fatalf("FCFS first work = %v, want replicate", w.Kind)
+	}
+	e.OnReplicated(w.Job)
+	w, _ = e.NextWork()
+	if w.Kind != WorkDispatch {
+		t.Fatalf("FCFS second work = %v, want dispatch", w.Kind)
+	}
+}
+
+// TestCoordinationAbortsPendingReplication exercises Table 3, Replicate
+// step 1: a message dispatched before its replication job pops makes the
+// replication abort.
+func TestCoordinationAbortsPendingReplication(t *testing.T) {
+	// Category 5 under paper params: Dr'=449.95ms < Dd'=480ms, so EDF pops
+	// replication first. Force dispatch first via a custom topic where
+	// Dd' < Dr' but replication is still on (FCFS config, no ReplicateFirst).
+	cfg := FCFSConfig(timing.PaperParams())
+	cfg.ReplicateFirst = false // dispatch job queued first
+	e := newEngine(t, cfg, paperTopic(t, 5, 5))
+	if err := e.OnPublish(msg(5, 1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := e.NextWork()
+	if w.Kind != WorkDispatch {
+		t.Fatalf("first work = %v, want dispatch", w.Kind)
+	}
+	co := e.OnDispatched(w.Job)
+	if co.SendPrune {
+		t.Error("prune requested although replica not yet sent")
+	}
+	// The queued replication job must now abort.
+	if w, ok := e.NextWork(); ok {
+		t.Fatalf("replication not aborted: got %+v", w)
+	}
+	if e.Stats().AbortedReplicas != 1 {
+		t.Errorf("AbortedReplicas = %d, want 1", e.Stats().AbortedReplicas)
+	}
+}
+
+// TestCoordinationPruneAfterReplication exercises Table 3, Dispatch step 3:
+// dispatching a message whose replica is at the Backup requests a prune.
+func TestCoordinationPruneAfterReplication(t *testing.T) {
+	e := newEngine(t, FRAMEConfig(timing.PaperParams()), paperTopic(t, 2, 2))
+	if err := e.OnPublish(msg(2, 7, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := e.NextWork() // replicate (earlier deadline)
+	if w.Kind != WorkReplicate {
+		t.Fatalf("first work = %v", w.Kind)
+	}
+	e.OnReplicated(w.Job)
+	w, _ = e.NextWork() // dispatch
+	co := e.OnDispatched(w.Job)
+	if !co.SendPrune || co.Topic != 2 || co.Seq != 7 {
+		t.Errorf("coordination = %+v, want prune for topic 2 seq 7", co)
+	}
+	if e.Stats().PrunesSent != 1 {
+		t.Errorf("PrunesSent = %d", e.Stats().PrunesSent)
+	}
+}
+
+func TestCoordinationDisabledNeverPrunesNorAborts(t *testing.T) {
+	e := newEngine(t, FCFSMinusConfig(timing.PaperParams()), paperTopic(t, 2, 2))
+	if err := e.OnPublish(msg(2, 1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := e.NextWork() // replicate first (ReplicateFirst)
+	e.OnReplicated(w.Job)
+	w, _ = e.NextWork() // dispatch
+	if co := e.OnDispatched(w.Job); co.SendPrune {
+		t.Error("FCFS− requested a prune")
+	}
+	// Re-publish and dispatch before replication: replication must still run.
+	if err := e.OnPublish(msg(2, 2, time.Millisecond), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Queue order: replicate(2), dispatch(2). Pop and execute replicate later:
+	// simulate dispatch-first by marking dispatched directly.
+	w, _ = e.NextWork()
+	if w.Kind != WorkReplicate || w.Msg.Seq != 2 {
+		t.Fatalf("work = %+v", w)
+	}
+}
+
+// TestBackupRoleAndRecoveryPruning exercises the full Table 3 Recovery
+// procedure: discarded copies are skipped, the rest become recovery
+// dispatch jobs reading from the Backup Buffer.
+func TestBackupRoleAndRecoveryPruning(t *testing.T) {
+	p := timing.PaperParams()
+	backup := newEngine(t, FRAMEConfig(p), paperTopic(t, 2, 2))
+	// Three replicas arrive from the Primary; seq 2 then gets pruned.
+	for s := uint64(1); s <= 3; s++ {
+		created := time.Duration(s) * 100 * time.Millisecond
+		if err := backup.OnReplica(msg(2, s, created), created+time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backup.OnPrune(2, 2)
+	if got := backup.BackupBufferLen(2); got != 2 {
+		t.Errorf("live backup copies = %d, want 2", got)
+	}
+	backup.Promote()
+	st := backup.Stats()
+	if st.RecoveryJobs != 2 || st.RecoverySkipped != 1 {
+		t.Errorf("recovery stats = %+v", st)
+	}
+	// Recovery jobs dispatch seqs 1 and 3 in EDF (creation) order.
+	var seqs []uint64
+	for {
+		w, ok := backup.NextWork()
+		if !ok {
+			break
+		}
+		if w.Kind != WorkDispatch || !w.Job.Recovery {
+			t.Fatalf("work = %+v, want recovery dispatch", w)
+		}
+		seqs = append(seqs, w.Msg.Seq)
+		backup.OnDispatched(w.Job)
+	}
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 3 {
+		t.Errorf("recovered seqs = %v, want [1 3]", seqs)
+	}
+	// After promotion the engine is a Primary without a Backup: new
+	// publishes must not generate replication jobs or prunes.
+	if err := backup.OnPublish(msg(2, 4, time.Second), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	w, ok := backup.NextWork()
+	if !ok || w.Kind != WorkDispatch {
+		t.Fatalf("post-promotion work = %+v", w)
+	}
+	if co := backup.OnDispatched(w.Job); co.SendPrune {
+		t.Error("post-promotion dispatch requested a prune")
+	}
+	if backup.QueueLen() != 0 {
+		t.Errorf("unexpected residual jobs: %d", backup.QueueLen())
+	}
+}
+
+func TestOnPruneUnknownSeqAndTopicIgnored(t *testing.T) {
+	e := newEngine(t, FRAMEConfig(timing.PaperParams()), paperTopic(t, 2, 2))
+	e.OnPrune(2, 42) // nothing in buffer
+	e.OnPrune(9, 1)  // unknown topic
+	if e.Stats().PrunesApplied != 0 {
+		t.Error("phantom prunes applied")
+	}
+}
+
+func TestOnReplicaUnknownTopic(t *testing.T) {
+	e := newEngine(t, FRAMEConfig(timing.PaperParams()))
+	if err := e.OnReplica(msg(3, 1, 0), 0); err == nil {
+		t.Error("replica for unknown topic accepted")
+	}
+}
+
+func TestBackupBufferEvictionKeepsNewest(t *testing.T) {
+	cfg := FRAMEConfig(timing.PaperParams())
+	cfg.BackupBufferCap = 3
+	e := newEngine(t, cfg, paperTopic(t, 2, 2))
+	for s := uint64(1); s <= 5; s++ {
+		if err := e.OnReplica(msg(2, s, 0), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.BackupBufferLen(2); got != 3 {
+		t.Errorf("backup len = %d, want 3", got)
+	}
+	e.Promote()
+	var seqs []uint64
+	for {
+		w, ok := e.NextWork()
+		if !ok {
+			break
+		}
+		seqs = append(seqs, w.Msg.Seq)
+		e.OnDispatched(w.Job)
+	}
+	if len(seqs) != 3 || seqs[0] != 3 || seqs[2] != 5 {
+		t.Errorf("recovered seqs = %v, want [3 4 5]", seqs)
+	}
+}
+
+func TestStaleJobsAfterBufferWrapAreSkipped(t *testing.T) {
+	cfg := FRAMEConfig(timing.PaperParams())
+	cfg.MessageBufferCap = 2
+	e := newEngine(t, cfg, paperTopic(t, 0, 0))
+	// Publish 4 messages without executing: the first two jobs go stale.
+	for s := uint64(1); s <= 4; s++ {
+		created := time.Duration(s) * 50 * time.Millisecond
+		if err := e.OnPublish(msg(0, s, created), created); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats().EvictedMessages != 2 {
+		t.Errorf("EvictedMessages = %d, want 2", e.Stats().EvictedMessages)
+	}
+	var seqs []uint64
+	for {
+		w, ok := e.NextWork()
+		if !ok {
+			break
+		}
+		seqs = append(seqs, w.Msg.Seq)
+		e.OnDispatched(w.Job)
+	}
+	if len(seqs) != 2 || seqs[0] != 3 || seqs[1] != 4 {
+		t.Errorf("dispatched seqs = %v, want [3 4]", seqs)
+	}
+}
+
+func TestDoubleDispatchSuppressed(t *testing.T) {
+	e := newEngine(t, FRAMEConfig(timing.PaperParams()), paperTopic(t, 0, 0))
+	if err := e.OnPublish(msg(0, 1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := e.NextWork()
+	e.OnDispatched(w.Job)
+	// A duplicate job for the same entry (e.g. recovery overlap) resolves to
+	// nothing because the entry is already dispatched.
+	e.OnPublish(msg(0, 1, 0), 0) // same seq lands in a new buffer slot: fine
+	w2, ok := e.NextWork()
+	if ok && w2.Msg.Seq == 1 && w2.Job.BufferIndex == w.Job.BufferIndex {
+		t.Error("same entry dispatched twice")
+	}
+}
+
+func TestPeekDeadline(t *testing.T) {
+	e := newEngine(t, FRAMEConfig(timing.PaperParams()), paperTopic(t, 0, 0))
+	if _, ok := e.PeekDeadline(); ok {
+		t.Error("PeekDeadline on empty queue")
+	}
+	if err := e.OnPublish(msg(0, 1, time.Second), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := e.PeekDeadline()
+	if !ok || d != time.Second+49*time.Millisecond {
+		t.Errorf("PeekDeadline = %v, %v", d, ok)
+	}
+}
+
+// TestCoordinationInvariantProperty drives a random interleaving of
+// publish/execute steps on a replicated topic and checks Table 3 invariants:
+// (1) a message is never replicated after being dispatched when coordination
+// is on; (2) every prune refers to a message that was both replicated and
+// dispatched; (3) no entry is dispatched twice.
+func TestCoordinationInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		coordination := seed%2 == 0
+		cfg := FRAMEConfig(timing.PaperParams())
+		cfg.Coordination = coordination
+		cfg.Policy = queue.PolicyFCFS // arbitrary interleaving is the point
+		e, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		top := spec.Table2()[2].Stamp(2, 16)
+		if err := e.AddTopic(top); err != nil {
+			return false
+		}
+		dispatched := map[uint64]int{}
+		replicatedAfterDispatch := false
+		var badPrune bool
+		replicated := map[uint64]bool{}
+		seq := uint64(0)
+		for step := 0; step < 200; step++ {
+			if rng.Intn(2) == 0 {
+				seq++
+				created := time.Duration(step) * time.Millisecond
+				if err := e.OnPublish(msg(2, seq, created), created); err != nil {
+					return false
+				}
+				continue
+			}
+			w, ok := e.NextWork()
+			if !ok {
+				continue
+			}
+			switch w.Kind {
+			case WorkDispatch:
+				dispatched[w.Msg.Seq]++
+				co := e.OnDispatched(w.Job)
+				if co.SendPrune && (!replicated[co.Seq] || dispatched[co.Seq] == 0) {
+					badPrune = true
+				}
+			case WorkReplicate:
+				if coordination && dispatched[w.Msg.Seq] > 0 {
+					replicatedAfterDispatch = true
+				}
+				replicated[w.Msg.Seq] = true
+				e.OnReplicated(w.Job)
+			}
+		}
+		for _, n := range dispatched {
+			if n > 1 {
+				return false
+			}
+		}
+		return !replicatedAfterDispatch && !badPrune
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRecoveryNeverDispatchesPruned: random replicate/prune sequences at the
+// Backup; after Promote, no pruned sequence is ever handed out.
+func TestRecoveryNeverDispatchesPruned(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, err := New(FRAMEConfig(timing.PaperParams()))
+		if err != nil {
+			return false
+		}
+		top := spec.Table2()[2].Stamp(2, 16)
+		if err := e.AddTopic(top); err != nil {
+			return false
+		}
+		pruned := map[uint64]bool{}
+		for s := uint64(1); s <= 20; s++ {
+			if err := e.OnReplica(msg(2, s, 0), 0); err != nil {
+				return false
+			}
+			if rng.Intn(2) == 0 {
+				e.OnPrune(2, s)
+				pruned[s] = true
+			}
+		}
+		e.Promote()
+		for {
+			w, ok := e.NextWork()
+			if !ok {
+				break
+			}
+			if pruned[w.Msg.Seq] {
+				return false
+			}
+			e.OnDispatched(w.Job)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsStringsAreStable(t *testing.T) {
+	// Guard against accidental field renames that would break the bench
+	// harness's reporting (reflection-free, so just compile-time usage).
+	s := Stats{Published: 1}
+	if s.Published != 1 {
+		t.Error("stats field access broken")
+	}
+	if !strings.Contains("FRAME", "FRAME") {
+		t.Error("impossible")
+	}
+}
+
+func BenchmarkOnPublishNextWork(b *testing.B) {
+	e, err := New(FRAMEConfig(timing.PaperParams()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	top := spec.Table2()[2].Stamp(2, 16)
+	if err := e.AddTopic(top); err != nil {
+		b.Fatal(err)
+	}
+	m := msg(2, 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Seq = uint64(i + 1)
+		m.Created = time.Duration(i) * time.Microsecond
+		if err := e.OnPublish(m, m.Created); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			w, ok := e.NextWork()
+			if !ok {
+				break
+			}
+			if w.Kind == WorkDispatch {
+				e.OnDispatched(w.Job)
+			} else {
+				e.OnReplicated(w.Job)
+			}
+		}
+	}
+}
+
+// TestPruneBeforeReplicaIsRemembered: coordination must survive the prune
+// frame overtaking the replica on independent worker paths.
+func TestPruneBeforeReplicaIsRemembered(t *testing.T) {
+	e := newEngine(t, FRAMEConfig(timing.PaperParams()), paperTopic(t, 2, 2))
+	e.OnPrune(2, 5) // replica not yet arrived
+	if e.Stats().PrunesApplied != 0 {
+		t.Fatal("prune applied before replica exists")
+	}
+	if err := e.OnReplica(msg(2, 5, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().PrunesApplied != 1 {
+		t.Errorf("PrunesApplied = %d, want 1 (pending prune consumed)", e.Stats().PrunesApplied)
+	}
+	if got := e.BackupBufferLen(2); got != 0 {
+		t.Errorf("live copies = %d, want 0", got)
+	}
+	e.Promote()
+	if _, ok := e.NextWork(); ok {
+		t.Error("pruned-before-arrival replica dispatched at recovery")
+	}
+}
+
+// TestPendingPruneSetBounded: early prunes never grow past the Backup
+// Buffer capacity, and each is consumed exactly once.
+func TestPendingPruneSetBounded(t *testing.T) {
+	cfg := FRAMEConfig(timing.PaperParams())
+	cfg.BackupBufferCap = 4
+	e := newEngine(t, cfg, paperTopic(t, 2, 2))
+	for s := uint64(1); s <= 10; s++ {
+		e.OnPrune(2, s) // all early
+	}
+	// Only the 4 newest pending prunes (7..10) survive.
+	for s := uint64(1); s <= 10; s++ {
+		if err := e.OnReplica(msg(2, s, 0), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Stats().PrunesApplied; got != 4 {
+		t.Errorf("PrunesApplied = %d, want 4 (bounded set)", got)
+	}
+	// Duplicate early prunes collapse.
+	e2 := newEngine(t, cfg, paperTopic(t, 2, 2))
+	e2.OnPrune(2, 1)
+	e2.OnPrune(2, 1)
+	if err := e2.OnReplica(msg(2, 1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.OnReplica(msg(2, 1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.Stats().PrunesApplied; got != 1 {
+		t.Errorf("PrunesApplied = %d, want 1 (dup prune collapsed)", got)
+	}
+}
+
+// TestInFlightReplicationTriggersPrune: a dispatch completing while the
+// replica is still being sent must still request the prune.
+func TestInFlightReplicationTriggersPrune(t *testing.T) {
+	e := newEngine(t, FRAMEConfig(timing.PaperParams()), paperTopic(t, 2, 2))
+	if err := e.OnPublish(msg(2, 1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	wRepl, _ := e.NextWork() // replicate handed out, send "in flight"
+	if wRepl.Kind != WorkReplicate {
+		t.Fatalf("first work = %v", wRepl.Kind)
+	}
+	wDisp, _ := e.NextWork() // dispatch completes while replica in flight
+	if wDisp.Kind != WorkDispatch {
+		t.Fatalf("second work = %v", wDisp.Kind)
+	}
+	co := e.OnDispatched(wDisp.Job)
+	if !co.SendPrune {
+		t.Error("no prune for in-flight replication")
+	}
+	e.OnReplicated(wRepl.Job) // send finishes afterwards
+}

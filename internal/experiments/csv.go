@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/simcluster"
+)
+
+// This file exports every regenerated table and figure as CSV so the
+// series can be re-plotted against the paper's figures directly
+// (frame-bench -csv <dir> writes one file per experiment).
+
+func writeAll(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(rows); err != nil {
+		return fmt.Errorf("experiments: csv: %w", err)
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiments: csv: %w", err)
+	}
+	return nil
+}
+
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+func msCSV(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64)
+}
+
+// WriteCSV exports the table: one row per
+// (workload, Di, Li, variant) with mean and 95% CI.
+func (t *TableResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"workload", "di_ms", "li", "variant", "mean_pct", "ci95_pct", "runs"}}
+	for _, total := range t.Workloads {
+		for _, g := range groups() {
+			cells := t.Rows[total][g]
+			if cells == nil {
+				continue
+			}
+			di, li := g.Label()
+			for _, v := range simcluster.Variants {
+				cell := cells[v]
+				rows = append(rows, []string{
+					strconv.Itoa(total), di, li, v.String(),
+					f1(cell.Runs.Mean()), f1(cell.Runs.CI95()),
+					strconv.Itoa(len(cell.Runs)),
+				})
+			}
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports Fig. 7: one row per (workload, variant) with the three
+// module utilizations.
+func (f *Fig7Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"workload", "variant", "primary_delivery_pct", "primary_proxy_pct", "backup_proxy_pct"}}
+	pts := append([]Fig7Point(nil), f.Points...)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Workload != pts[j].Workload {
+			return pts[i].Workload < pts[j].Workload
+		}
+		return pts[i].Variant < pts[j].Variant
+	})
+	for _, p := range pts {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Workload), p.Variant.String(),
+			f1(p.PrimaryDelivery.Mean()), f1(p.PrimaryProxy.Mean()), f1(p.BackupProxy.Mean()),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports Fig. 8's 24-hour ΔBS series: one row per sample.
+func (f *Fig8Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"t_seconds", "delta_bs_ms"}}
+	for i, s := range f.Series {
+		at := time.Duration(i) * f.SampleEvery
+		rows = append(rows, []string{
+			strconv.FormatFloat(at.Seconds(), 'f', 0, 64), msCSV(s),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports Fig. 9: one row per delivered message of each tracked
+// topic under each configuration.
+func (f *Fig9Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"variant", "category", "seq", "latency_ms", "recovered"}}
+	for _, s := range f.Series {
+		for _, pt := range s.Points {
+			rows = append(rows, []string{
+				s.Variant.String(), strconv.Itoa(s.Category),
+				strconv.FormatUint(pt.Seq, 10), msCSV(pt.Latency),
+				strconv.FormatBool(pt.Recovered),
+			})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports the multi-edge sweep: one row per edge count.
+func (m *MultiEdgeResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"edges", "cloud_cpu_pct", "cloud_p99_ms", "edge_latency_ok_pct", "cloud_latency_ok_pct", "loss_ok_pct"}}
+	for _, r := range m.Rows {
+		rows = append(rows, []string{
+			strconv.Itoa(r.Edges), f1(r.CloudUtilization), msCSV(r.CloudQueueP99),
+			f1(r.EdgeLatencySuccess), f1(r.CloudLatencySuccess), f1(r.LossSuccess),
+		})
+	}
+	return writeAll(w, rows)
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+// parseCSV asserts the output is well-formed CSV with the expected header
+// and a consistent column count, returning the data rows.
+func parseCSV(t *testing.T, buf *bytes.Buffer, wantHeader string) [][]string {
+	t.Helper()
+	records, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("csv parse: %v", err)
+	}
+	if len(records) < 2 {
+		t.Fatalf("csv has %d rows; want header + data", len(records))
+	}
+	if got := records[0][0]; got != wantHeader {
+		t.Fatalf("header starts with %q, want %q", got, wantHeader)
+	}
+	for i, r := range records {
+		if len(r) != len(records[0]) {
+			t.Fatalf("row %d has %d columns, header has %d", i, len(r), len(records[0]))
+		}
+	}
+	return records[1:]
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	res, err := RunTable4(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf, "workload")
+	if len(rows) != 6*4 { // 6 groups × 4 variants × 1 workload
+		t.Errorf("rows = %d, want 24", len(rows))
+	}
+	for _, r := range rows {
+		if mean, err := strconv.ParseFloat(r[4], 64); err != nil || mean < 0 || mean > 100 {
+			t.Errorf("bad mean %q", r[4])
+		}
+	}
+}
+
+func TestFig7WriteCSV(t *testing.T) {
+	res, err := RunFig7(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf, "workload")
+	if len(rows) != 4 {
+		t.Errorf("rows = %d, want 4 (one per variant)", len(rows))
+	}
+}
+
+func TestFig8And9AndMultiEdgeWriteCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 7525-topic simulations")
+	}
+	cfg := quickConfig()
+	cfg.CrashMeasure = 1500 * 1e6 // 1.5s
+	f8, err := RunFig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f8.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf, "t_seconds"); len(rows) != len(f8.Series) {
+		t.Errorf("fig8 rows = %d, want %d", len(rows), len(f8.Series))
+	}
+
+	f9, err := RunFig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f9.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parseCSV(t, &buf, "variant")
+
+	cfg.Workloads = []int{1, 2}
+	me, err := RunMultiEdge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := me.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf, "edges"); len(rows) != 2 {
+		t.Errorf("multiedge rows = %d, want 2", len(rows))
+	}
+}

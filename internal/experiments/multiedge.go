@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/simcluster"
+	"repro/internal/spec"
+)
+
+// MultiEdgeResult is the extension experiment beyond the paper's scope
+// (§I limits the evaluation to one edge and one cloud; Fig. 1 shows many
+// edges sharing a private cloud): a sweep over the number of edges sharing
+// one cloud ingest host.
+type MultiEdgeResult struct {
+	// Workload is the per-edge topic total.
+	Workload int
+	// Rows has one entry per edge count.
+	Rows []MultiEdgeRow
+}
+
+// MultiEdgeRow summarizes one sweep point.
+type MultiEdgeRow struct {
+	Edges            int
+	CloudUtilization float64
+	CloudQueueP99    time.Duration
+	// EdgeLatencySuccess is the message-level latency success of
+	// edge-bound topics, averaged across edges — it must stay flat as the
+	// shared cloud loads up.
+	EdgeLatencySuccess float64
+	// CloudLatencySuccess is the same for cloud-bound topics.
+	CloudLatencySuccess float64
+	// LossSuccess is the per-topic loss-tolerance success across all edges.
+	LossSuccess float64
+}
+
+// MultiEdgeCounts is the default sweep.
+var MultiEdgeCounts = []int{1, 2, 4, 8}
+
+// RunMultiEdge sweeps the number of edges sharing one cloud host. Each
+// edge runs the 1525-topic workload under FRAME; the cloud host is sized
+// so that it saturates inside the sweep, demonstrating that edge-bound
+// traffic is isolated from cloud-side congestion.
+func RunMultiEdge(cfg Config) (*MultiEdgeResult, error) {
+	cfg = cfg.withDefaults()
+	const perEdgeTopics = 1525
+	w, err := spec.NewWorkload(perEdgeTopics)
+	if err != nil {
+		return nil, err
+	}
+	out := &MultiEdgeResult{Workload: perEdgeTopics}
+	for _, edges := range cfg.sizesOr(MultiEdgeCounts) {
+		res, err := simcluster.RunMultiEdge(simcluster.MultiOptions{
+			Edges: edges,
+			PerEdge: simcluster.Options{
+				Workload: w,
+				Variant:  simcluster.VariantFRAME,
+				Seed:     cfg.Seed + int64(edges),
+				Warmup:   cfg.Warmup,
+				Measure:  cfg.Measure,
+				Drain:    cfg.Drain,
+			},
+			// One cloud core at 12ms/message: ~40 msg/s capacity, so the
+			// sweep crosses saturation between 4 and 8 edges (10 cloud
+			// msg/s per edge).
+			CloudCores: 1,
+			CloudCost:  12 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := MultiEdgeRow{
+			Edges:            edges,
+			CloudUtilization: res.CloudUtilization,
+			CloudQueueP99:    res.CloudQueueP99,
+		}
+		var edgeMet, edgeCreated, cloudMet, cloudCreated uint64
+		var lossOK, lossTotal int
+		for _, er := range res.EdgeResults {
+			for _, tr := range er.Topics {
+				if tr.Topic.Destination == spec.DestCloud {
+					cloudMet += tr.DeadlineMet
+					cloudCreated += tr.Created
+				} else {
+					edgeMet += tr.DeadlineMet
+					edgeCreated += tr.Created
+				}
+				if tr.Topic.BestEffort() {
+					continue
+				}
+				lossTotal++
+				if tr.MeetsLossTolerance() {
+					lossOK++
+				}
+			}
+		}
+		if edgeCreated > 0 {
+			row.EdgeLatencySuccess = 100 * float64(edgeMet) / float64(edgeCreated)
+		}
+		if cloudCreated > 0 {
+			row.CloudLatencySuccess = 100 * float64(cloudMet) / float64(cloudCreated)
+		}
+		if lossTotal > 0 {
+			row.LossSuccess = 100 * float64(lossOK) / float64(lossTotal)
+		}
+		out.Rows = append(out.Rows, row)
+		cfg.progress("MultiEdge: edges=%d done", edges)
+	}
+	return out, nil
+}
+
+// Format renders the sweep as a table.
+func (m *MultiEdgeResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — N edges sharing one cloud host (FRAME, %d topics/edge)\n", m.Workload)
+	fmt.Fprintf(&b, "%-6s %10s %14s %12s %13s %8s\n",
+		"edges", "cloud CPU%", "cloud P99", "edge lat-OK%", "cloud lat-OK%", "loss-OK%")
+	for _, r := range m.Rows {
+		fmt.Fprintf(&b, "%-6d %10.1f %14s %12.2f %13.2f %8.1f\n",
+			r.Edges, r.CloudUtilization, r.CloudQueueP99.Round(time.Microsecond),
+			r.EdgeLatencySuccess, r.CloudLatencySuccess, r.LossSuccess)
+	}
+	return b.String()
+}

@@ -1,0 +1,254 @@
+// Package metrics implements the measurement machinery of the FRAME
+// evaluation (§VI): end-to-end latency distributions, per-topic consecutive
+// message-loss tracking (Table 4), deadline success rates (Table 5),
+// modeled CPU utilization accounting (Fig. 7), and confidence intervals
+// across repeated runs.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// LatencyRecorder accumulates a latency distribution with reservoir-free
+// exact percentiles (it keeps all samples; evaluation runs record at most a
+// few million). The zero value is ready to use.
+type LatencyRecorder struct {
+	samples []time.Duration
+	sum     time.Duration
+	sorted  bool
+}
+
+// Record adds one sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.samples = append(r.samples, d)
+	r.sum += d
+	r.sorted = false
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+// Mean returns the mean latency, or zero with no samples.
+func (r *LatencyRecorder) Mean() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.sum / time.Duration(len(r.samples))
+}
+
+// Max returns the maximum sample, or zero with no samples.
+func (r *LatencyRecorder) Max() time.Duration {
+	var m time.Duration
+	for _, s := range r.samples {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-quantile (0 < p ≤ 1) by nearest-rank, or zero
+// with no samples.
+func (r *LatencyRecorder) Percentile(p float64) time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+	if p <= 0 {
+		return r.samples[0]
+	}
+	if p >= 1 {
+		return r.samples[len(r.samples)-1]
+	}
+	rank := int(math.Ceil(p*float64(len(r.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return r.samples[rank]
+}
+
+// MeetRate returns the fraction of samples at or below bound.
+func (r *LatencyRecorder) MeetRate(bound time.Duration) float64 {
+	if len(r.samples) == 0 {
+		return 1
+	}
+	met := 0
+	for _, s := range r.samples {
+		if s <= bound {
+			met++
+		}
+	}
+	return float64(met) / float64(len(r.samples))
+}
+
+// Samples returns the recorded samples in insertion order only if the
+// recorder has not been asked for percentiles (which sorts in place);
+// callers needing both should copy first. Used by the Fig. 9 time-series.
+func (r *LatencyRecorder) Samples() []time.Duration { return r.samples }
+
+// LossTracker watches one topic's delivered sequence numbers and reports the
+// longest run of consecutive losses (§III-B: a subscriber tolerates at most
+// Li consecutive losses). Duplicates are discarded, as in §VI-C ("We only
+// show results of distinct messages... Duplicated messages were discarded").
+// Sequence numbers start at 1. The zero value tracks from seq 0.
+type LossTracker struct {
+	highest    uint64
+	delivered  uint64
+	duplicates uint64
+	maxRun     int
+	// lastSeen is the highest contiguous... we track gaps via a set-free
+	// approach: because brokers deliver in near-order but recovery may
+	// reorder, we buffer out-of-order arrivals in a window.
+	seen map[uint64]bool
+}
+
+// NewLossTracker returns a tracker expecting sequences from 1.
+func NewLossTracker() *LossTracker {
+	return &LossTracker{seen: make(map[uint64]bool)}
+}
+
+// Deliver records the arrival of sequence seq. Order does not matter;
+// duplicates are counted and ignored.
+func (l *LossTracker) Deliver(seq uint64) {
+	if l.seen[seq] {
+		l.duplicates++
+		return
+	}
+	l.seen[seq] = true
+	l.delivered++
+	if seq > l.highest {
+		l.highest = seq
+	}
+}
+
+// Finalize computes loss statistics given the last sequence number the
+// publisher actually created. Sequences (highestCreated, ∞) never existed.
+func (l *LossTracker) Finalize(highestCreated uint64) LossStats {
+	maxRun, run := 0, 0
+	var lost uint64
+	for s := uint64(1); s <= highestCreated; s++ {
+		if l.seen[s] {
+			run = 0
+			continue
+		}
+		lost++
+		run++
+		if run > maxRun {
+			maxRun = run
+		}
+	}
+	l.maxRun = maxRun
+	return LossStats{
+		Created:        highestCreated,
+		Delivered:      l.delivered,
+		Duplicates:     l.duplicates,
+		Lost:           lost,
+		MaxConsecutive: maxRun,
+	}
+}
+
+// LossStats summarizes one topic's delivery record.
+type LossStats struct {
+	Created        uint64
+	Delivered      uint64
+	Duplicates     uint64
+	Lost           uint64
+	MaxConsecutive int
+}
+
+// Meets reports whether the record satisfies loss tolerance li (with
+// li = spec.LossUnbounded semantics handled by the caller passing a huge li).
+func (s LossStats) Meets(li int) bool { return s.MaxConsecutive <= li }
+
+// Utilization models CPU accounting for one module (Fig. 7): busy time
+// accumulated against a core budget.
+type Utilization struct {
+	Cores int
+	busy  time.Duration
+}
+
+// NewUtilization returns an accumulator for a module running on cores.
+func NewUtilization(cores int) *Utilization {
+	if cores <= 0 {
+		panic(fmt.Sprintf("metrics: cores %d must be positive", cores))
+	}
+	return &Utilization{Cores: cores}
+}
+
+// AddBusy charges d of CPU work to the module.
+func (u *Utilization) AddBusy(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("metrics: negative busy time %v", d))
+	}
+	u.busy += d
+}
+
+// Busy returns the accumulated busy time.
+func (u *Utilization) Busy() time.Duration { return u.busy }
+
+// Percent returns utilization over the window as a percentage of the
+// module's total core capacity. It can exceed 100 only if accounting
+// over-charges; callers treat ≥100 as saturated.
+func (u *Utilization) Percent(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return 100 * float64(u.busy) / (float64(window) * float64(u.Cores))
+}
+
+// Series is a set of repeated-run measurements of one quantity.
+type Series []float64
+
+// Mean returns the arithmetic mean (zero for an empty series).
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// StdDev returns the sample standard deviation (zero for n < 2).
+func (s Series) StdDev() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s)-1))
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean,
+// using the normal approximation the paper's error bars imply (1.96·σ/√n).
+func (s Series) CI95() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(len(s)))
+}
+
+// FormatMeanCI renders "mean ± ci" the way the paper's tables do: plain
+// mean when the interval is zero, scientific notation for tiny intervals.
+func (s Series) FormatMeanCI() string {
+	m, ci := s.Mean(), s.CI95()
+	if ci == 0 {
+		return fmt.Sprintf("%.1f", m)
+	}
+	if ci < 0.1 {
+		return fmt.Sprintf("%.1f ± %.1E", m, ci)
+	}
+	return fmt.Sprintf("%.1f ± %.1f", m, ci)
+}

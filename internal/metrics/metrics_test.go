@@ -1,0 +1,224 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLatencyRecorderBasics(t *testing.T) {
+	var r LatencyRecorder
+	if r.Mean() != 0 || r.Max() != 0 || r.Percentile(0.5) != 0 {
+		t.Error("empty recorder not zero-valued")
+	}
+	if r.MeetRate(time.Second) != 1 {
+		t.Error("empty recorder MeetRate != 1")
+	}
+	for _, ms := range []int{10, 20, 30, 40} {
+		r.Record(time.Duration(ms) * time.Millisecond)
+	}
+	if r.Count() != 4 {
+		t.Errorf("Count = %d", r.Count())
+	}
+	if r.Mean() != 25*time.Millisecond {
+		t.Errorf("Mean = %v", r.Mean())
+	}
+	if r.Max() != 40*time.Millisecond {
+		t.Errorf("Max = %v", r.Max())
+	}
+	if got := r.MeetRate(20 * time.Millisecond); got != 0.5 {
+		t.Errorf("MeetRate = %v", got)
+	}
+}
+
+func TestLatencyRecorderPercentiles(t *testing.T) {
+	var r LatencyRecorder
+	for i := 100; i >= 1; i-- { // reversed insertion
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	tests := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{0.01, 1 * time.Millisecond},
+		{0.5, 50 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+	}
+	for _, tc := range tests {
+		if got := r.Percentile(tc.p); got != tc.want {
+			t.Errorf("P%.0f = %v, want %v", tc.p*100, got, tc.want)
+		}
+	}
+}
+
+func TestLossTrackerPerfectDelivery(t *testing.T) {
+	l := NewLossTracker()
+	for s := uint64(1); s <= 100; s++ {
+		l.Deliver(s)
+	}
+	st := l.Finalize(100)
+	if st.Lost != 0 || st.MaxConsecutive != 0 || st.Delivered != 100 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !st.Meets(0) {
+		t.Error("perfect delivery fails Li=0")
+	}
+}
+
+func TestLossTrackerGapsAndDuplicates(t *testing.T) {
+	l := NewLossTracker()
+	// Deliver 1,2,5,6,7,10 out of 1..12 (losses: 3,4 then 8,9 then 11,12).
+	for _, s := range []uint64{5, 1, 6, 2, 7, 10, 10, 1} {
+		l.Deliver(s)
+	}
+	st := l.Finalize(12)
+	if st.Duplicates != 2 {
+		t.Errorf("Duplicates = %d, want 2", st.Duplicates)
+	}
+	if st.Lost != 6 {
+		t.Errorf("Lost = %d, want 6", st.Lost)
+	}
+	if st.MaxConsecutive != 2 {
+		t.Errorf("MaxConsecutive = %d, want 2", st.MaxConsecutive)
+	}
+	if st.Meets(1) || !st.Meets(2) {
+		t.Error("Meets thresholds wrong")
+	}
+}
+
+func TestLossTrackerTrailingLoss(t *testing.T) {
+	l := NewLossTracker()
+	l.Deliver(1)
+	st := l.Finalize(5)
+	if st.MaxConsecutive != 4 {
+		t.Errorf("MaxConsecutive = %d, want 4 (trailing losses count)", st.MaxConsecutive)
+	}
+}
+
+func TestLossTrackerOutOfOrderEquivalentToInOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 50
+		delivered := make([]uint64, 0, n)
+		for s := uint64(1); s <= n; s++ {
+			if rng.Intn(3) > 0 {
+				delivered = append(delivered, s)
+			}
+		}
+		inOrder := NewLossTracker()
+		for _, s := range delivered {
+			inOrder.Deliver(s)
+		}
+		shuffled := NewLossTracker()
+		perm := rng.Perm(len(delivered))
+		for _, i := range perm {
+			shuffled.Deliver(delivered[i])
+		}
+		a, b := inOrder.Finalize(n), shuffled.Finalize(n)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	u := NewUtilization(2)
+	u.AddBusy(500 * time.Millisecond)
+	u.AddBusy(500 * time.Millisecond)
+	if got := u.Percent(time.Second); math.Abs(got-50) > 1e-9 {
+		t.Errorf("Percent = %v, want 50", got)
+	}
+	if u.Busy() != time.Second {
+		t.Errorf("Busy = %v", u.Busy())
+	}
+	if u.Percent(0) != 0 {
+		t.Error("zero window should give 0")
+	}
+}
+
+func TestUtilizationPanics(t *testing.T) {
+	t.Run("zero cores", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		NewUtilization(0)
+	})
+	t.Run("negative busy", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		NewUtilization(1).AddBusy(-time.Second)
+	})
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := Series{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := s.Mean(); math.Abs(m-5) > 1e-9 {
+		t.Errorf("Mean = %v", m)
+	}
+	if sd := s.StdDev(); math.Abs(sd-2.138089935) > 1e-6 {
+		t.Errorf("StdDev = %v", sd)
+	}
+	ci := s.CI95()
+	want := 1.96 * 2.138089935 / math.Sqrt(8)
+	if math.Abs(ci-want) > 1e-6 {
+		t.Errorf("CI95 = %v, want %v", ci, want)
+	}
+	if (Series{}).Mean() != 0 || (Series{1}).StdDev() != 0 || (Series{1}).CI95() != 0 {
+		t.Error("degenerate series not zero")
+	}
+}
+
+func TestFormatMeanCI(t *testing.T) {
+	if got := (Series{100, 100, 100}).FormatMeanCI(); got != "100.0" {
+		t.Errorf("constant series = %q", got)
+	}
+	got := (Series{99.9, 99.92, 99.88}).FormatMeanCI()
+	if !strings.Contains(got, "±") || !strings.Contains(got, "E") {
+		t.Errorf("tiny CI should use scientific notation: %q", got)
+	}
+	got = (Series{80, 100, 60}).FormatMeanCI()
+	if !strings.Contains(got, "80.0 ±") {
+		t.Errorf("wide CI format: %q", got)
+	}
+}
+
+func TestMeetRateProperty(t *testing.T) {
+	f := func(raw []uint16, boundMs uint16) bool {
+		var r LatencyRecorder
+		bound := time.Duration(boundMs) * time.Microsecond
+		want := 0
+		for _, v := range raw {
+			d := time.Duration(v) * time.Microsecond
+			r.Record(d)
+			if d <= bound {
+				want++
+			}
+		}
+		if len(raw) == 0 {
+			return r.MeetRate(bound) == 1
+		}
+		return math.Abs(r.MeetRate(bound)-float64(want)/float64(len(raw))) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLossTrackerDeliver(b *testing.B) {
+	l := NewLossTracker()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Deliver(uint64(i + 1))
+	}
+}

@@ -1,0 +1,165 @@
+// Package netsim models network link latency for the simulated evaluation.
+//
+// The paper's test-bed has two latency regimes (§VI-A): a Gigabit-switched
+// edge LAN (0.5 ms round-trip between broker and local subscriber, PTP sync
+// error within 0.05 ms) and a WAN path to an AWS EC2 cloud subscriber
+// (44 ms round-trip; the measured one-way ΔBS floor used for configuration
+// was 20.7 ms). Fig. 8 shows ΔBS for a cloud topic across 24 hours: a slowly
+// wandering baseline with jitter and an isolated +104 ms spike around 8am.
+//
+// Models are deterministic given their seed: the same run reproduces the
+// same latency sequence, which keeps whole experiments replayable.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Model produces one-way latencies as a function of virtual time.
+type Model interface {
+	// Latency returns the one-way delay for a transmission starting at
+	// virtual time at.
+	Latency(at time.Duration) time.Duration
+}
+
+// Fixed is a constant-latency link.
+type Fixed time.Duration
+
+var _ Model = Fixed(0)
+
+// Latency returns the constant delay.
+func (f Fixed) Latency(time.Duration) time.Duration { return time.Duration(f) }
+
+// Uniform adds bounded uniform jitter to a base latency.
+type Uniform struct {
+	Base   time.Duration
+	Jitter time.Duration // samples are Base + U[0, Jitter)
+	rng    *rand.Rand
+}
+
+var _ Model = (*Uniform)(nil)
+
+// NewUniform returns a jittered link model with its own deterministic RNG.
+func NewUniform(base, jitter time.Duration, seed int64) *Uniform {
+	if base < 0 || jitter < 0 {
+		panic(fmt.Sprintf("netsim: negative base %v or jitter %v", base, jitter))
+	}
+	return &Uniform{Base: base, Jitter: jitter, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Latency returns base plus one jitter sample.
+func (u *Uniform) Latency(time.Duration) time.Duration {
+	if u.Jitter == 0 {
+		return u.Base
+	}
+	return u.Base + time.Duration(u.rng.Int63n(int64(u.Jitter)))
+}
+
+// Spike is a transient latency excursion (e.g., Fig. 8's +104 ms event).
+type Spike struct {
+	// At is when the spike peaks.
+	At time.Duration
+	// Magnitude is the added latency at the peak.
+	Magnitude time.Duration
+	// Width is the half-duration: latency decays linearly to zero extra at
+	// At±Width.
+	Width time.Duration
+}
+
+// contribution returns the spike's additive latency at time at.
+func (s Spike) contribution(at time.Duration) time.Duration {
+	d := at - s.At
+	if d < 0 {
+		d = -d
+	}
+	if s.Width <= 0 || d >= s.Width {
+		return 0
+	}
+	frac := 1 - float64(d)/float64(s.Width)
+	return time.Duration(float64(s.Magnitude) * frac)
+}
+
+// Diurnal models a WAN path whose baseline drifts over a day: a sinusoidal
+// daily swing on top of a floor, plus uniform jitter and optional spikes.
+// The floor is the model's minimum latency — the measurable lower bound of
+// ΔBS that FRAME's configuration should use (§III-D-5).
+type Diurnal struct {
+	// Floor is the minimum one-way latency (the paper's 20.7 ms setup value
+	// came from a one-hour measurement of this floor).
+	Floor time.Duration
+	// Swing is the peak-to-trough amplitude of the daily variation.
+	Swing time.Duration
+	// Period is the cycle length (24h for a day).
+	Period time.Duration
+	// PeakAt positions the sinusoid maximum within the cycle.
+	PeakAt time.Duration
+	// Jitter adds U[0, Jitter) per sample.
+	Jitter time.Duration
+	// Spikes are transient events.
+	Spikes []Spike
+
+	rng *rand.Rand
+}
+
+var _ Model = (*Diurnal)(nil)
+
+// NewDiurnal validates and seeds a diurnal model.
+func NewDiurnal(d Diurnal, seed int64) *Diurnal {
+	if d.Floor < 0 || d.Swing < 0 || d.Jitter < 0 {
+		panic("netsim: negative diurnal parameter")
+	}
+	if d.Period <= 0 {
+		panic("netsim: diurnal period must be positive")
+	}
+	out := d
+	out.rng = rand.New(rand.NewSource(seed))
+	return &out
+}
+
+// Latency returns floor + daily swing + jitter + spike contributions.
+func (d *Diurnal) Latency(at time.Duration) time.Duration {
+	cycle := (at - d.PeakAt) % d.Period
+	if cycle < 0 {
+		cycle += d.Period // Go's % keeps the dividend's sign; normalize
+	}
+	phase := 2 * math.Pi * float64(cycle) / float64(d.Period)
+	// Cosine peaking at PeakAt, scaled to [0, Swing].
+	swing := time.Duration(float64(d.Swing) * (math.Cos(phase) + 1) / 2)
+	l := d.Floor + swing
+	if d.Jitter > 0 {
+		l += time.Duration(d.rng.Int63n(int64(d.Jitter)))
+	}
+	for _, s := range d.Spikes {
+		l += s.contribution(at)
+	}
+	return l
+}
+
+// PaperEdgeLink returns the edge LAN model: 0.5 ms round-trip → 0.25 ms
+// one-way with a little queuing jitter.
+func PaperEdgeLink(seed int64) *Uniform {
+	return NewUniform(200*time.Microsecond, 100*time.Microsecond, seed)
+}
+
+// PaperBrokerLink returns the Primary↔Backup link: the brokers sit on the
+// same switch, ΔBB ≈ 0.05 ms.
+func PaperBrokerLink(seed int64) *Uniform {
+	return NewUniform(40*time.Microsecond, 20*time.Microsecond, seed)
+}
+
+// PaperCloudLink returns the Fig. 8 WAN model: 20.7 ms floor, a ~3 ms daily
+// swing peaking mid-day, 1.5 ms jitter, and the +104 ms spike "at around
+// 8am on Thursday".
+func PaperCloudLink(seed int64) *Diurnal {
+	return NewDiurnal(Diurnal{
+		Floor:  20700 * time.Microsecond,
+		Swing:  3 * time.Millisecond,
+		Period: 24 * time.Hour,
+		PeakAt: 14 * time.Hour,
+		Jitter: 1500 * time.Microsecond,
+		Spikes: []Spike{{At: 8 * time.Hour, Magnitude: 104 * time.Millisecond, Width: 90 * time.Second}},
+	}, seed)
+}

@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFixed(t *testing.T) {
+	m := Fixed(3 * time.Millisecond)
+	for _, at := range []time.Duration{0, time.Second, time.Hour} {
+		if got := m.Latency(at); got != 3*time.Millisecond {
+			t.Errorf("Latency(%v) = %v", at, got)
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	m := NewUniform(time.Millisecond, 500*time.Microsecond, 1)
+	for i := 0; i < 1000; i++ {
+		l := m.Latency(0)
+		if l < time.Millisecond || l >= 1500*time.Microsecond {
+			t.Fatalf("sample %v outside [1ms, 1.5ms)", l)
+		}
+	}
+}
+
+func TestUniformZeroJitter(t *testing.T) {
+	m := NewUniform(time.Millisecond, 0, 1)
+	if got := m.Latency(0); got != time.Millisecond {
+		t.Errorf("Latency = %v", got)
+	}
+}
+
+func TestUniformDeterministicBySeed(t *testing.T) {
+	a := NewUniform(time.Millisecond, time.Millisecond, 7)
+	b := NewUniform(time.Millisecond, time.Millisecond, 7)
+	for i := 0; i < 100; i++ {
+		if a.Latency(0) != b.Latency(0) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestUniformPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewUniform(-time.Millisecond, 0, 1)
+}
+
+func TestSpikeContribution(t *testing.T) {
+	s := Spike{At: 10 * time.Second, Magnitude: 100 * time.Millisecond, Width: 2 * time.Second}
+	if got := s.contribution(10 * time.Second); got != 100*time.Millisecond {
+		t.Errorf("peak contribution = %v", got)
+	}
+	if got := s.contribution(11 * time.Second); got != 50*time.Millisecond {
+		t.Errorf("half-width contribution = %v", got)
+	}
+	for _, at := range []time.Duration{0, 8 * time.Second, 12 * time.Second, time.Hour} {
+		if got := s.contribution(at); got != 0 {
+			t.Errorf("contribution(%v) = %v, want 0", at, got)
+		}
+	}
+}
+
+func TestDiurnalFloorIsLowerBound(t *testing.T) {
+	m := PaperCloudLink(3)
+	min := time.Hour
+	for at := time.Duration(0); at < 24*time.Hour; at += 90 * time.Second {
+		l := m.Latency(at)
+		if l < m.Floor {
+			t.Fatalf("latency %v below floor %v at %v", l, m.Floor, at)
+		}
+		if l < min {
+			min = l
+		}
+	}
+	// The floor must actually be approached (within jitter+swing slack).
+	if min > m.Floor+2*time.Millisecond {
+		t.Errorf("observed minimum %v far above floor %v", min, m.Floor)
+	}
+}
+
+func TestDiurnalSpikeVisible(t *testing.T) {
+	m := PaperCloudLink(4)
+	peak := m.Latency(8 * time.Hour)
+	if peak < m.Floor+100*time.Millisecond {
+		t.Errorf("8am spike missing: latency %v", peak)
+	}
+	calm := m.Latency(20 * time.Hour)
+	if calm > m.Floor+10*time.Millisecond {
+		t.Errorf("calm period latency %v too high", calm)
+	}
+}
+
+func TestDiurnalSwingShape(t *testing.T) {
+	m := NewDiurnal(Diurnal{
+		Floor: 20 * time.Millisecond, Swing: 4 * time.Millisecond,
+		Period: 24 * time.Hour, PeakAt: 14 * time.Hour,
+	}, 1)
+	atPeak := m.Latency(14 * time.Hour)
+	atTrough := m.Latency(2 * time.Hour)
+	if atPeak != 24*time.Millisecond {
+		t.Errorf("peak = %v, want 24ms", atPeak)
+	}
+	if atTrough != 20*time.Millisecond {
+		t.Errorf("trough = %v, want 20ms", atTrough)
+	}
+}
+
+func TestDiurnalPeriodicity(t *testing.T) {
+	m := NewDiurnal(Diurnal{
+		Floor: 20 * time.Millisecond, Swing: 4 * time.Millisecond,
+		Period: 24 * time.Hour, PeakAt: 14 * time.Hour,
+	}, 1)
+	f := func(hours uint8) bool {
+		at := time.Duration(hours%24) * time.Hour
+		return m.Latency(at) == m.Latency(at+24*time.Hour)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiurnalValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero period accepted")
+		}
+	}()
+	NewDiurnal(Diurnal{Floor: time.Millisecond}, 1)
+}
+
+func TestPaperLinksRegimes(t *testing.T) {
+	edge := PaperEdgeLink(1)
+	broker := PaperBrokerLink(2)
+	cloud := PaperCloudLink(3)
+	e, b, c := edge.Latency(0), broker.Latency(0), cloud.Latency(0)
+	if !(b < e && e < c) {
+		t.Errorf("latency regimes out of order: broker %v, edge %v, cloud %v", b, e, c)
+	}
+	if c < 20*time.Millisecond {
+		t.Errorf("cloud latency %v below the paper's 20ms floor", c)
+	}
+	if e > time.Millisecond {
+		t.Errorf("edge latency %v above sub-millisecond regime", e)
+	}
+}

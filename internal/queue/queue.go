@@ -1,0 +1,303 @@
+// Package queue provides the job queues at the heart of FRAME's Message
+// Delivery module: an Earliest-Deadline-First priority queue (the paper's
+// "EDF Job Queue", §IV-A) and a First-Come-First-Serve queue used by the
+// FCFS and FCFS− baseline configurations (§VI).
+//
+// Jobs reference messages by position in a message store rather than
+// carrying payloads, mirroring the paper's design where the Job Generator
+// passes "a reference to the message's position in the Message Buffer".
+package queue
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// Kind distinguishes dispatch jobs from replication jobs.
+type Kind int
+
+// Job kinds.
+const (
+	KindDispatch Kind = iota + 1
+	KindReplicate
+)
+
+// String returns a short label for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDispatch:
+		return "dispatch"
+	case KindReplicate:
+		return "replicate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Job is one unit of work for the Message Delivery module: push one message
+// either to its subscribers (dispatch) or to the Backup (replicate).
+type Job struct {
+	Kind  Kind
+	Topic spec.TopicID
+	// Seq is the topic-local message sequence number the job refers to.
+	Seq uint64
+	// BufferIndex is the message's stable position in the buffer it lives in
+	// (Message Buffer on the Primary, Backup Buffer during recovery).
+	BufferIndex uint64
+	// Release is the job's release time (message arrival at the broker, tp).
+	Release time.Duration
+	// Deadline is the absolute deadline (tp + Dd or tp + Dr).
+	Deadline time.Duration
+	// Recovery marks jobs generated while draining the Backup Buffer after a
+	// promotion, which read from the Backup Buffer instead of the Message
+	// Buffer.
+	Recovery bool
+}
+
+// Queue is the scheduling order abstraction: both EDF and FCFS satisfy it.
+type Queue interface {
+	// Push enqueues a job.
+	Push(Job)
+	// Pop removes and returns the next job by the queue's policy.
+	Pop() (Job, bool)
+	// Peek returns the next job without removing it.
+	Peek() (Job, bool)
+	// Len returns the number of queued jobs.
+	Len() int
+}
+
+// edfItem wraps a job with an insertion sequence for deterministic
+// tie-breaking among equal deadlines.
+type edfItem struct {
+	job Job
+	seq uint64
+}
+
+// EDF is a binary-heap Earliest-Deadline-First queue. Ties on deadline break
+// by insertion order, keeping the schedule deterministic. The zero value is
+// ready to use. EDF is not safe for concurrent use.
+type EDF struct {
+	items []edfItem
+	seq   uint64
+}
+
+var _ Queue = (*EDF)(nil)
+var _ heap.Interface = (*edfHeap)(nil)
+
+// NewEDF returns an empty EDF queue.
+func NewEDF() *EDF { return &EDF{} }
+
+// edfHeap adapts EDF's storage to container/heap.
+type edfHeap EDF
+
+func (h *edfHeap) Len() int { return len(h.items) }
+
+func (h *edfHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.job.Deadline != b.job.Deadline {
+		return a.job.Deadline < b.job.Deadline
+	}
+	return a.seq < b.seq
+}
+
+func (h *edfHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *edfHeap) Push(x any) {
+	it, ok := x.(edfItem)
+	if !ok {
+		panic(fmt.Sprintf("queue: pushed non-item %T", x))
+	}
+	h.items = append(h.items, it)
+}
+
+func (h *edfHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = edfItem{}
+	h.items = old[:n-1]
+	return it
+}
+
+// Push enqueues a job ordered by absolute deadline.
+func (q *EDF) Push(j Job) {
+	q.seq++
+	heap.Push((*edfHeap)(q), edfItem{job: j, seq: q.seq})
+}
+
+// Pop removes and returns the job with the earliest deadline.
+func (q *EDF) Pop() (Job, bool) {
+	if len(q.items) == 0 {
+		return Job{}, false
+	}
+	it, ok := heap.Pop((*edfHeap)(q)).(edfItem)
+	if !ok {
+		panic("queue: heap returned non-item")
+	}
+	return it.job, true
+}
+
+// Peek returns the earliest-deadline job without removing it.
+func (q *EDF) Peek() (Job, bool) {
+	if len(q.items) == 0 {
+		return Job{}, false
+	}
+	return q.items[0].job, true
+}
+
+// Len returns the number of queued jobs.
+func (q *EDF) Len() int { return len(q.items) }
+
+// FCFS is a first-come-first-serve queue: jobs pop in insertion order,
+// regardless of deadline. It models the paper's undifferentiated baseline.
+// Implemented as a growable circular buffer to keep Pop O(1) without
+// shifting. The zero value is ready to use.
+type FCFS struct {
+	buf  []Job
+	head int
+	n    int
+}
+
+var _ Queue = (*FCFS)(nil)
+
+// NewFCFS returns an empty FCFS queue.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Push appends a job at the tail.
+func (q *FCFS) Push(j Job) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = j
+	q.n++
+}
+
+// Pop removes and returns the oldest job.
+func (q *FCFS) Pop() (Job, bool) {
+	if q.n == 0 {
+		return Job{}, false
+	}
+	j := q.buf[q.head]
+	q.buf[q.head] = Job{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return j, true
+}
+
+// Peek returns the oldest job without removing it.
+func (q *FCFS) Peek() (Job, bool) {
+	if q.n == 0 {
+		return Job{}, false
+	}
+	return q.buf[q.head], true
+}
+
+// Len returns the number of queued jobs.
+func (q *FCFS) Len() int { return q.n }
+
+func (q *FCFS) grow() {
+	newCap := len(q.buf) * 2
+	if newCap == 0 {
+		newCap = 16
+	}
+	buf := make([]Job, newCap)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}
+
+// Policy names a queue discipline.
+type Policy int
+
+// Queue policies.
+const (
+	PolicyEDF Policy = iota + 1
+	PolicyFCFS
+)
+
+// String returns the policy label.
+func (p Policy) String() string {
+	switch p {
+	case PolicyEDF:
+		return "EDF"
+	case PolicyFCFS:
+		return "FCFS"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// New returns an empty queue implementing the policy.
+func New(p Policy) Queue {
+	switch p {
+	case PolicyEDF:
+		return NewEDF()
+	case PolicyFCFS:
+		return NewFCFS()
+	default:
+		panic(fmt.Sprintf("queue: unknown policy %d", int(p)))
+	}
+}
+
+// SortedEDF is a reference EDF implementation backed by a sorted slice with
+// linear insertion. It exists for the queue-implementation ablation
+// benchmark: correct but O(n) per Push, it demonstrates why the heap matters
+// at broker scale.
+type SortedEDF struct {
+	items []edfItem
+	seq   uint64
+}
+
+var _ Queue = (*SortedEDF)(nil)
+
+// NewSortedEDF returns an empty sorted-slice EDF queue.
+func NewSortedEDF() *SortedEDF { return &SortedEDF{} }
+
+// Push inserts a job keeping the slice sorted by (deadline, insertion).
+func (q *SortedEDF) Push(j Job) {
+	q.seq++
+	it := edfItem{job: j, seq: q.seq}
+	// Binary search for the insertion point, then shift.
+	lo, hi := 0, len(q.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		m := q.items[mid]
+		if m.job.Deadline < it.job.Deadline ||
+			(m.job.Deadline == it.job.Deadline && m.seq < it.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q.items = append(q.items, edfItem{})
+	copy(q.items[lo+1:], q.items[lo:])
+	q.items[lo] = it
+}
+
+// Pop removes and returns the earliest-deadline job.
+func (q *SortedEDF) Pop() (Job, bool) {
+	if len(q.items) == 0 {
+		return Job{}, false
+	}
+	it := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = edfItem{}
+	q.items = q.items[:len(q.items)-1]
+	return it.job, true
+}
+
+// Peek returns the earliest-deadline job without removing it.
+func (q *SortedEDF) Peek() (Job, bool) {
+	if len(q.items) == 0 {
+		return Job{}, false
+	}
+	return q.items[0].job, true
+}
+
+// Len returns the number of queued jobs.
+func (q *SortedEDF) Len() int { return len(q.items) }

@@ -1,0 +1,235 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func job(deadline time.Duration) Job {
+	return Job{Kind: KindDispatch, Deadline: deadline}
+}
+
+func TestEDFPopsEarliestDeadline(t *testing.T) {
+	q := NewEDF()
+	for _, d := range []time.Duration{50, 10, 30, 20, 40} {
+		q.Push(job(d * time.Millisecond))
+	}
+	want := []time.Duration{10, 20, 30, 40, 50}
+	for i, w := range want {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatalf("Pop %d failed", i)
+		}
+		if j.Deadline != w*time.Millisecond {
+			t.Errorf("Pop %d deadline = %v, want %v", i, j.Deadline, w*time.Millisecond)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue succeeded")
+	}
+}
+
+func TestEDFTieBreaksByInsertion(t *testing.T) {
+	q := NewEDF()
+	for i := uint64(0); i < 8; i++ {
+		q.Push(Job{Seq: i, Deadline: time.Millisecond})
+	}
+	for i := uint64(0); i < 8; i++ {
+		j, _ := q.Pop()
+		if j.Seq != i {
+			t.Fatalf("tie-break order broken: got seq %d at pop %d", j.Seq, i)
+		}
+	}
+}
+
+func TestEDFPeek(t *testing.T) {
+	q := NewEDF()
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty succeeded")
+	}
+	q.Push(job(20 * time.Millisecond))
+	q.Push(job(10 * time.Millisecond))
+	j, ok := q.Peek()
+	if !ok || j.Deadline != 10*time.Millisecond {
+		t.Errorf("Peek = %v, %v", j.Deadline, ok)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Peek consumed: Len = %d", q.Len())
+	}
+}
+
+func TestFCFSOrder(t *testing.T) {
+	q := NewFCFS()
+	// Deadlines deliberately reversed: FCFS must ignore them.
+	for i := 0; i < 100; i++ {
+		q.Push(Job{Seq: uint64(i), Deadline: time.Duration(100-i) * time.Millisecond})
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		j, ok := q.Pop()
+		if !ok || j.Seq != uint64(i) {
+			t.Fatalf("Pop %d = seq %d, ok %v", i, j.Seq, ok)
+		}
+	}
+}
+
+func TestFCFSInterleavedPushPop(t *testing.T) {
+	q := NewFCFS()
+	next := uint64(0)
+	pushed := uint64(0)
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 10000; step++ {
+		if rng.Intn(2) == 0 {
+			q.Push(Job{Seq: pushed})
+			pushed++
+		} else if j, ok := q.Pop(); ok {
+			if j.Seq != next {
+				t.Fatalf("step %d: popped %d, want %d", step, j.Seq, next)
+			}
+			next++
+		}
+	}
+	for {
+		j, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if j.Seq != next {
+			t.Fatalf("drain: popped %d, want %d", j.Seq, next)
+		}
+		next++
+	}
+	if next != pushed {
+		t.Errorf("drained %d, pushed %d", next, pushed)
+	}
+}
+
+func TestFCFSPeek(t *testing.T) {
+	q := NewFCFS()
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty succeeded")
+	}
+	q.Push(Job{Seq: 7})
+	if j, ok := q.Peek(); !ok || j.Seq != 7 {
+		t.Errorf("Peek = %+v, %v", j, ok)
+	}
+}
+
+func TestNewByPolicy(t *testing.T) {
+	if _, ok := New(PolicyEDF).(*EDF); !ok {
+		t.Error("New(PolicyEDF) did not return *EDF")
+	}
+	if _, ok := New(PolicyFCFS).(*FCFS); !ok {
+		t.Error("New(PolicyFCFS) did not return *FCFS")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown policy did not panic")
+		}
+	}()
+	New(Policy(0))
+}
+
+func TestPolicyAndKindStrings(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{PolicyEDF.String(), "EDF"},
+		{PolicyFCFS.String(), "FCFS"},
+		{Policy(9).String(), "Policy(9)"},
+		{KindDispatch.String(), "dispatch"},
+		{KindReplicate.String(), "replicate"},
+		{Kind(9).String(), "Kind(9)"},
+	}
+	for _, tc := range tests {
+		if tc.got != tc.want {
+			t.Errorf("got %q, want %q", tc.got, tc.want)
+		}
+	}
+}
+
+// TestEDFImplementationsAgree: the heap EDF and the sorted-slice reference
+// produce identical pop sequences for any input, interleaved with pops.
+func TestEDFImplementationsAgree(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := NewEDF(), NewSortedEDF()
+		steps := int(n) + 10
+		for s := 0; s < steps; s++ {
+			if rng.Intn(3) > 0 {
+				j := Job{
+					Seq:      uint64(s),
+					Deadline: time.Duration(rng.Intn(20)) * time.Millisecond,
+				}
+				a.Push(j)
+				b.Push(j)
+			} else {
+				ja, oka := a.Pop()
+				jb, okb := b.Pop()
+				if oka != okb || ja != jb {
+					return false
+				}
+			}
+		}
+		for a.Len() > 0 || b.Len() > 0 {
+			ja, oka := a.Pop()
+			jb, okb := b.Pop()
+			if oka != okb || ja != jb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEDFPopMonotoneProperty: with no interleaved pushes, deadlines pop in
+// nondecreasing order.
+func TestEDFPopMonotoneProperty(t *testing.T) {
+	f := func(deadlines []int16) bool {
+		q := NewEDF()
+		for _, d := range deadlines {
+			q.Push(job(time.Duration(d) * time.Microsecond))
+		}
+		prev := time.Duration(-1 << 62)
+		for {
+			j, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if j.Deadline < prev {
+				return false
+			}
+			prev = j.Deadline
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func benchQueue(b *testing.B, q Queue) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	const backlog = 4096
+	for i := 0; i < backlog; i++ {
+		q.Push(job(time.Duration(rng.Intn(1000)) * time.Microsecond))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(job(time.Duration(rng.Intn(1000)) * time.Microsecond))
+		q.Pop()
+	}
+}
+
+func BenchmarkEDFHeap(b *testing.B)   { benchQueue(b, NewEDF()) }
+func BenchmarkEDFSorted(b *testing.B) { benchQueue(b, NewSortedEDF()) }
+func BenchmarkFCFS(b *testing.B)      { benchQueue(b, NewFCFS()) }

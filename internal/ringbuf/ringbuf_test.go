@@ -1,0 +1,213 @@
+package ringbuf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPushGetWithinCapacity(t *testing.T) {
+	r := New[string](4)
+	idxA, ev := r.Push("a")
+	if ev {
+		t.Error("unexpected eviction on first push")
+	}
+	idxB, _ := r.Push("b")
+	if idxA != 0 || idxB != 1 {
+		t.Fatalf("indices = %d, %d; want 0, 1", idxA, idxB)
+	}
+	if v, ok := r.Get(idxA); !ok || v != "a" {
+		t.Errorf("Get(0) = %q, %v; want a, true", v, ok)
+	}
+	if v, ok := r.Get(idxB); !ok || v != "b" {
+		t.Errorf("Get(1) = %q, %v; want b, true", v, ok)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestPushEvictsOldest(t *testing.T) {
+	r := New[int](3)
+	for i := 0; i < 3; i++ {
+		r.Push(i * 10)
+	}
+	idx, ev := r.Push(30)
+	if !ev {
+		t.Error("push into full ring did not report eviction")
+	}
+	if idx != 3 {
+		t.Errorf("new index = %d, want 3", idx)
+	}
+	if _, ok := r.Get(0); ok {
+		t.Error("evicted entry still readable")
+	}
+	for i := uint64(1); i <= 3; i++ {
+		v, ok := r.Get(i)
+		if !ok || v != int(i)*10 {
+			t.Errorf("Get(%d) = %d, %v; want %d, true", i, v, ok, i*10)
+		}
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+}
+
+func TestSetAndUpdate(t *testing.T) {
+	r := New[int](2)
+	idx, _ := r.Push(1)
+	if !r.Set(idx, 5) {
+		t.Fatal("Set on live index failed")
+	}
+	if v, _ := r.Get(idx); v != 5 {
+		t.Errorf("after Set, Get = %d, want 5", v)
+	}
+	if !r.Update(idx, func(p *int) { *p += 2 }) {
+		t.Fatal("Update on live index failed")
+	}
+	if v, _ := r.Get(idx); v != 7 {
+		t.Errorf("after Update, Get = %d, want 7", v)
+	}
+	if r.Set(99, 0) {
+		t.Error("Set on unknown index succeeded")
+	}
+	if r.Update(99, func(*int) {}) {
+		t.Error("Update on unknown index succeeded")
+	}
+}
+
+func TestPopOldest(t *testing.T) {
+	r := New[int](3)
+	if _, ok := r.PopOldest(); ok {
+		t.Error("PopOldest on empty ring succeeded")
+	}
+	r.Push(1)
+	r.Push(2)
+	if v, ok := r.PopOldest(); !ok || v != 1 {
+		t.Errorf("PopOldest = %d, %v; want 1, true", v, ok)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+	if r.FirstIndex() != 1 {
+		t.Errorf("FirstIndex = %d, want 1", r.FirstIndex())
+	}
+}
+
+func TestClearPreservesIndexProgression(t *testing.T) {
+	r := New[int](3)
+	r.Push(1)
+	r.Push(2)
+	r.Clear()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Clear = %d, want 0", r.Len())
+	}
+	idx, _ := r.Push(3)
+	if idx != 2 {
+		t.Errorf("index after Clear = %d, want 2", idx)
+	}
+}
+
+func TestSnapshotAndDoOrder(t *testing.T) {
+	r := New[int](3)
+	for i := 0; i < 5; i++ { // wraps: retains 2,3,4
+		r.Push(i)
+	}
+	snap := r.Snapshot()
+	want := []int{2, 3, 4}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot len = %d, want %d", len(snap), len(want))
+	}
+	for i, w := range want {
+		if snap[i] != w {
+			t.Errorf("snapshot[%d] = %d, want %d", i, snap[i], w)
+		}
+	}
+	var idxs []uint64
+	var vals []int
+	r.Do(func(idx uint64, v int) {
+		idxs = append(idxs, idx)
+		vals = append(vals, v)
+	})
+	for i := range vals {
+		if vals[i] != want[i] || idxs[i] != uint64(i+2) {
+			t.Errorf("Do[%d] = (%d,%d), want (%d,%d)", i, idxs[i], vals[i], i+2, want[i])
+		}
+	}
+}
+
+func TestNextIndex(t *testing.T) {
+	r := New[int](2)
+	if r.NextIndex() != 0 {
+		t.Errorf("NextIndex = %d, want 0", r.NextIndex())
+	}
+	for i := 0; i < 5; i++ {
+		idx, _ := r.Push(i)
+		if idx != uint64(i) {
+			t.Errorf("Push %d got index %d", i, idx)
+		}
+		if r.NextIndex() != uint64(i+1) {
+			t.Errorf("NextIndex after %d pushes = %d", i+1, r.NextIndex())
+		}
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 did not panic")
+		}
+	}()
+	New[int](0)
+}
+
+// TestRingRetainsMostRecentProperty: after any sequence of pushes, the ring
+// retains exactly the min(total, capacity) most recent values, in order, and
+// indices are a contiguous range ending at total-1.
+func TestRingRetainsMostRecentProperty(t *testing.T) {
+	f := func(vals []int, capRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		r := New[int](capacity)
+		for _, v := range vals {
+			r.Push(v)
+		}
+		n := len(vals)
+		keep := n
+		if keep > capacity {
+			keep = capacity
+		}
+		if r.Len() != keep {
+			return false
+		}
+		snap := r.Snapshot()
+		for i := 0; i < keep; i++ {
+			if snap[i] != vals[n-keep+i] {
+				return false
+			}
+		}
+		// Every retained index maps to the right value; evicted indices miss.
+		for i := 0; i < n; i++ {
+			v, ok := r.Get(uint64(i))
+			retained := i >= n-keep
+			if ok != retained {
+				return false
+			}
+			if ok && v != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRingPush(b *testing.B) {
+	r := New[[16]byte](1024)
+	var payload [16]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Push(payload)
+	}
+}

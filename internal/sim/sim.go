@@ -1,0 +1,137 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with a virtual clock. It is the substrate on which the FRAME evaluation
+// experiments run: brokers, publishers, subscribers, and network links are
+// modeled as event handlers scheduled on a single virtual timeline, so a
+// "60 second" run with tens of thousands of topics executes in well under a
+// second of wall time and produces bit-identical results across runs.
+//
+// The engine is intentionally small: an event heap keyed by (time, sequence)
+// and a loop. Determinism comes from the total order on events; two events
+// scheduled for the same instant fire in scheduling order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a closure scheduled to run at a virtual instant.
+type Event func()
+
+// item is a scheduled event in the heap.
+type item struct {
+	at  time.Duration // virtual time since simulation start
+	seq uint64        // tie-breaker preserving scheduling order
+	fn  Event
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	it, ok := x.(item)
+	if !ok {
+		panic(fmt.Sprintf("sim: pushed non-item %T", x))
+	}
+	*h = append(*h, it)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = item{}
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// ready to use. Engine is not safe for concurrent use: all scheduling must
+// happen from event handlers or before Run.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	ran     uint64
+}
+
+// New returns an empty engine at virtual time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time (elapsed since simulation start).
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Processed reports how many events have fired so far.
+func (e *Engine) Processed() uint64 { return e.ran }
+
+// Pending reports how many events are scheduled but not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// (before Now) is a programming error and panics: silently reordering time
+// would corrupt causality in every model built on the engine.
+func (e *Engine) At(at time.Duration, fn Event) {
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, item{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time. Negative d is
+// clamped to zero so callers may pass small computed deltas without worrying
+// about rounding below zero.
+func (e *Engine) After(d time.Duration, fn Event) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop makes the currently executing Run return after the in-flight event
+// completes. Further events remain queued and a subsequent Run call resumes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue drains, the horizon
+// is exceeded, or Stop is called. A zero horizon means no time limit.
+// Events scheduled exactly at the horizon still fire; the first event
+// strictly beyond it is left queued and the clock is advanced to the horizon.
+func (e *Engine) Run(horizon time.Duration) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if horizon > 0 && next.at > horizon {
+			e.now = horizon
+			return
+		}
+		popped, ok := heap.Pop(&e.events).(item)
+		if !ok {
+			panic("sim: heap returned non-item")
+		}
+		e.now = popped.at
+		e.ran++
+		popped.fn()
+	}
+	if horizon > 0 && e.now < horizon && len(e.events) == 0 {
+		e.now = horizon
+	}
+}
+
+// RunUntilIdle executes all queued events with no horizon.
+func (e *Engine) RunUntilIdle() { e.Run(0) }

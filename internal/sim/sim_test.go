@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := New()
+	var got []time.Duration
+	for _, d := range []time.Duration{30, 10, 20, 5, 25} {
+		d := d * time.Millisecond
+		e.At(d, func() { got = append(got, d) })
+	}
+	e.RunUntilIdle()
+	want := []time.Duration{5, 10, 20, 25, 30}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i] != w*time.Millisecond {
+			t.Errorf("event %d at %v, want %v", i, got[i], w*time.Millisecond)
+		}
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.RunUntilIdle()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant order broken: got %v", got)
+		}
+	}
+}
+
+func TestEngineNowAdvances(t *testing.T) {
+	e := New()
+	e.At(5*time.Millisecond, func() {
+		if e.Now() != 5*time.Millisecond {
+			t.Errorf("Now = %v inside event, want 5ms", e.Now())
+		}
+		e.After(10*time.Millisecond, func() {
+			if e.Now() != 15*time.Millisecond {
+				t.Errorf("Now = %v, want 15ms", e.Now())
+			}
+		})
+	})
+	e.RunUntilIdle()
+	if e.Now() != 15*time.Millisecond {
+		t.Errorf("final Now = %v, want 15ms", e.Now())
+	}
+	if e.Processed() != 2 {
+		t.Errorf("Processed = %d, want 2", e.Processed())
+	}
+}
+
+func TestEngineHorizonStopsBeforeLaterEvents(t *testing.T) {
+	e := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		d := d * time.Millisecond
+		e.At(d, func() { fired = append(fired, d) })
+	}
+	e.Run(25 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before horizon, want 2", len(fired))
+	}
+	if e.Now() != 25*time.Millisecond {
+		t.Errorf("Now = %v, want clamped to horizon 25ms", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	// Resuming picks up the remainder.
+	e.Run(0)
+	if len(fired) != 4 {
+		t.Errorf("after resume fired = %d, want 4", len(fired))
+	}
+}
+
+func TestEngineEventAtHorizonFires(t *testing.T) {
+	e := New()
+	fired := false
+	e.At(25*time.Millisecond, func() { fired = true })
+	e.Run(25 * time.Millisecond)
+	if !fired {
+		t.Error("event exactly at horizon did not fire")
+	}
+}
+
+func TestEngineHorizonAdvancesClockWhenIdle(t *testing.T) {
+	e := New()
+	e.Run(time.Second)
+	if e.Now() != time.Second {
+		t.Errorf("Now = %v, want 1s after idle run to horizon", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.At(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(0)
+	if count != 2 {
+		t.Fatalf("ran %d events after Stop, want 2", count)
+	}
+	e.Run(0)
+	if count != 5 {
+		t.Fatalf("resume ran %d total, want 5", count)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5*time.Millisecond, func() {})
+	})
+	e.RunUntilIdle()
+}
+
+func TestEngineNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil event did not panic")
+		}
+	}()
+	New().At(0, nil)
+}
+
+func TestEngineAfterClampsNegative(t *testing.T) {
+	e := New()
+	ran := false
+	e.After(-time.Second, func() { ran = true })
+	e.RunUntilIdle()
+	if !ran {
+		t.Error("negative After delay did not run")
+	}
+}
+
+// TestEngineOrderProperty checks, over random schedules, that events always
+// fire in nondecreasing time order and that equal-time events preserve
+// scheduling order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		type rec struct {
+			at  time.Duration
+			idx int
+		}
+		var fired []rec
+		count := int(n%64) + 1
+		times := make([]time.Duration, count)
+		for i := 0; i < count; i++ {
+			at := time.Duration(rng.Intn(50)) * time.Millisecond
+			times[i] = at
+			i := i
+			e.At(at, func() { fired = append(fired, rec{at: e.Now(), idx: i}) })
+		}
+		e.RunUntilIdle()
+		if len(fired) != count {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(a, b int) bool {
+			if fired[a].at != fired[b].at {
+				return fired[a].at < fired[b].at
+			}
+			return fired[a].idx < fired[b].idx
+		}) {
+			return false
+		}
+		// Stability: among equal times, idx increases.
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at == fired[i-1].at && fired[i].idx < fired[i-1].idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		e := New()
+		rng := rand.New(rand.NewSource(42))
+		var fired []time.Duration
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if depth > 3 {
+				return
+			}
+			e.After(time.Duration(rng.Intn(10))*time.Millisecond, func() {
+				fired = append(fired, e.Now())
+				schedule(depth + 1)
+				schedule(depth + 1)
+			})
+		}
+		schedule(0)
+		e.RunUntilIdle()
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if e.Pending() > 10000 {
+			e.RunUntilIdle()
+		}
+	}
+	e.RunUntilIdle()
+}

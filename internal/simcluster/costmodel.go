@@ -1,0 +1,222 @@
+// Package simcluster runs the FRAME evaluation (§VI) as a deterministic
+// discrete-event simulation: publishers, Primary and Backup brokers with
+// their Message Proxy and Message Delivery modules, edge and cloud
+// subscribers, crash injection, publisher fail-over with retained-message
+// re-send, and per-module CPU accounting. The broker logic is the real
+// core.Engine — the same state machine the TCP runtime drives — so the
+// simulation exercises the contribution's actual code, substituting only
+// the test-bed (hosts, network, wall clock) per DESIGN.md §3.
+package simcluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/timing"
+)
+
+// CostModel assigns CPU service times to each unit of broker work. The
+// values are calibrated so that, with the paper's core assignment (two
+// delivery cores and one proxy core per broker host, §VI-A), the modeled
+// utilization reproduces the paper's crossovers:
+//
+//   - FCFS (replicate everything + coordinate everything) saturates its
+//     delivery cores between 4525 and 7525 topics — the paper's collapse
+//     point (Tables 4–5);
+//   - FCFS− (no coordination) stays just under saturation even at 13525;
+//   - FRAME (selective replication: only categories 2 and 5) crosses
+//     saturation only at 13525, where the paper reports degraded rates
+//     with wide confidence intervals;
+//   - FRAME+ (no replication at all) stays far below saturation throughout.
+//
+// With R(N) ≈ 10·(N−25) + 410 messages/s for an N-topic workload and
+// replicated-message rate Rr(N) ≈ R(N)/3, delivery-core demand is
+//
+//	FCFS:   (Dispatch + Replicate + Coordinate)·R(N)
+//	FCFS−:  (Dispatch + Replicate)·R(N)
+//	FRAME:  Dispatch·R(N) + (Replicate + Coordinate)·Rr(N)
+//	FRAME+: Dispatch·R(N)
+//
+// against a 2-core budget of 2 s of CPU per second.
+type CostModel struct {
+	// Dispatch is the CPU cost of executing one dispatch job (fetch entry,
+	// marshal, push to subscriber links).
+	Dispatch time.Duration
+	// Replicate is the CPU cost of executing one replication job.
+	Replicate time.Duration
+	// Coordinate is the CPU cost of the Table 3 dispatch-side coordination
+	// (cancel bookkeeping plus the prune request to the Backup). It is paid
+	// by a dispatch job whose topic replicates, when coordination is on.
+	Coordinate time.Duration
+	// ProxyPublish is the Message Proxy cost to accept one arrival (copy
+	// into the Message Buffer).
+	ProxyPublish time.Duration
+	// ProxyPerJob is the Job Generator cost per job created (deadline
+	// computation plus queue insertion).
+	ProxyPerJob time.Duration
+	// ReplicaStore is the Backup proxy cost to store one replica.
+	ReplicaStore time.Duration
+	// PruneApply is the Backup proxy cost to apply one Discard request.
+	PruneApply time.Duration
+
+	// DeliveryCores and ProxyCores mirror the paper's per-host core
+	// dedication (§VI-A).
+	DeliveryCores int
+	ProxyCores    int
+}
+
+// DefaultCostModel returns the calibrated model documented above.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Dispatch:      7 * time.Microsecond,
+		Replicate:     7 * time.Microsecond,
+		Coordinate:    16 * time.Microsecond,
+		ProxyPublish:  1 * time.Microsecond,
+		ProxyPerJob:   2 * time.Microsecond,
+		ReplicaStore:  3 * time.Microsecond,
+		PruneApply:    2 * time.Microsecond,
+		DeliveryCores: 2,
+		ProxyCores:    1,
+	}
+}
+
+// Validate rejects non-positive service times or core counts.
+func (c CostModel) Validate() error {
+	for _, f := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"Dispatch", c.Dispatch}, {"Replicate", c.Replicate},
+		{"Coordinate", c.Coordinate}, {"ProxyPublish", c.ProxyPublish},
+		{"ProxyPerJob", c.ProxyPerJob}, {"ReplicaStore", c.ReplicaStore},
+		{"PruneApply", c.PruneApply},
+	} {
+		if f.d <= 0 {
+			return fmt.Errorf("simcluster: cost %s = %v must be positive", f.name, f.d)
+		}
+	}
+	if c.DeliveryCores <= 0 || c.ProxyCores <= 0 {
+		return fmt.Errorf("simcluster: cores must be positive")
+	}
+	return nil
+}
+
+// scale multiplies every service time by factor (per-run host speed noise).
+func (c CostModel) scale(factor float64) CostModel {
+	mul := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) * factor)
+	}
+	out := c
+	out.Dispatch = mul(c.Dispatch)
+	out.Replicate = mul(c.Replicate)
+	out.Coordinate = mul(c.Coordinate)
+	out.ProxyPublish = mul(c.ProxyPublish)
+	out.ProxyPerJob = mul(c.ProxyPerJob)
+	out.ReplicaStore = mul(c.ReplicaStore)
+	out.PruneApply = mul(c.PruneApply)
+	return out
+}
+
+// DeliveryDemand predicts the delivery-module utilization fraction for a
+// workload under a variant (the closed-form documented on CostModel).
+// Useful for admission-style what-if analysis and tested against the
+// simulated utilization.
+func (c CostModel) DeliveryDemand(w *spec.Workload, v Variant, p timing.Params) float64 {
+	cfg := v.EngineConfig(p)
+	load := v.PrepareWorkload(w)
+	var busyPerSec float64
+	for _, t := range load.Topics {
+		rate := float64(time.Second) / float64(t.Period)
+		busyPerSec += rate * float64(c.Dispatch)
+		replicates := replicationVerdict(t, cfg)
+		if replicates {
+			busyPerSec += rate * float64(c.Replicate)
+			if cfg.Coordination {
+				busyPerSec += rate * float64(c.Coordinate)
+			}
+		}
+	}
+	return busyPerSec / (float64(time.Second) * float64(c.DeliveryCores))
+}
+
+// replicationVerdict mirrors the engine's config-time decision without
+// building an engine.
+func replicationVerdict(t spec.Topic, cfg core.Config) bool {
+	if !cfg.HasBackup {
+		return false
+	}
+	if t.BestEffort() {
+		return !cfg.SelectiveReplication
+	}
+	if !cfg.SelectiveReplication {
+		return true
+	}
+	return timing.NeedsReplication(t, cfg.Params)
+}
+
+// Variant names one of the four evaluated configurations (§VI-A).
+type Variant int
+
+// Evaluation configurations.
+const (
+	VariantFRAME Variant = iota + 1
+	VariantFRAMEPlus
+	VariantFCFS
+	VariantFCFSMinus
+	// VariantEDFReplicateAll is FRAME without Proposition 1: EDF scheduling
+	// and coordination, but every topic replicates. Used only by the
+	// selective-replication ablation; it is not one of the paper's four
+	// evaluated configurations and is excluded from Variants.
+	VariantEDFReplicateAll
+)
+
+// Variants lists all four in the paper's column order.
+var Variants = []Variant{VariantFRAMEPlus, VariantFRAME, VariantFCFS, VariantFCFSMinus}
+
+// String returns the paper's label.
+func (v Variant) String() string {
+	switch v {
+	case VariantFRAME:
+		return "FRAME"
+	case VariantFRAMEPlus:
+		return "FRAME+"
+	case VariantFCFS:
+		return "FCFS"
+	case VariantFCFSMinus:
+		return "FCFS-"
+	case VariantEDFReplicateAll:
+		return "EDF-replicate-all"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// EngineConfig returns the broker configuration for the variant.
+func (v Variant) EngineConfig(p timing.Params) core.Config {
+	switch v {
+	case VariantFRAME, VariantFRAMEPlus:
+		return core.FRAMEConfig(p)
+	case VariantFCFS:
+		return core.FCFSConfig(p)
+	case VariantFCFSMinus:
+		return core.FCFSMinusConfig(p)
+	case VariantEDFReplicateAll:
+		cfg := core.FRAMEConfig(p)
+		cfg.SelectiveReplication = false
+		return cfg
+	default:
+		panic(fmt.Sprintf("simcluster: unknown variant %d", int(v)))
+	}
+}
+
+// PrepareWorkload applies the variant's workload adjustment: FRAME+ raises
+// Ni by one for categories 2 and 5 (§VI-A), which removes their replication
+// need via Proposition 1. Other variants use the workload as-is.
+func (v Variant) PrepareWorkload(w *spec.Workload) *spec.Workload {
+	if v == VariantFRAMEPlus {
+		return w.BoostRetention(1, 2, 5)
+	}
+	return w
+}

@@ -1,0 +1,128 @@
+package simcluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/timing"
+)
+
+func TestDefaultCostModelValid(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostModelValidateRejections(t *testing.T) {
+	fields := []func(*CostModel){
+		func(c *CostModel) { c.Dispatch = 0 },
+		func(c *CostModel) { c.Replicate = -time.Microsecond },
+		func(c *CostModel) { c.Coordinate = 0 },
+		func(c *CostModel) { c.ProxyPublish = 0 },
+		func(c *CostModel) { c.ProxyPerJob = 0 },
+		func(c *CostModel) { c.ReplicaStore = 0 },
+		func(c *CostModel) { c.PruneApply = 0 },
+		func(c *CostModel) { c.DeliveryCores = 0 },
+		func(c *CostModel) { c.ProxyCores = -1 },
+	}
+	for i, mutate := range fields {
+		c := DefaultCostModel()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestCostModelScale(t *testing.T) {
+	c := DefaultCostModel()
+	doubled := c.scale(2)
+	if doubled.Dispatch != 2*c.Dispatch || doubled.Coordinate != 2*c.Coordinate ||
+		doubled.PruneApply != 2*c.PruneApply {
+		t.Errorf("scale(2) = %+v", doubled)
+	}
+	if doubled.DeliveryCores != c.DeliveryCores {
+		t.Error("scale changed core counts")
+	}
+	same := c.scale(1)
+	if same != c {
+		t.Errorf("scale(1) changed the model: %+v", same)
+	}
+}
+
+// TestDeliveryDemandCrossovers pins the calibration documented on
+// CostModel: the saturation crossovers that reproduce the paper's
+// collapse points.
+func TestDeliveryDemandCrossovers(t *testing.T) {
+	cost := DefaultCostModel()
+	p := timing.PaperParams()
+	demand := func(total int, v Variant) float64 {
+		w, err := spec.NewWorkload(total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cost.DeliveryDemand(w, v, p)
+	}
+	// FCFS saturates between 4525 and 7525 (the paper's collapse point).
+	if d := demand(4525, VariantFCFS); d >= 1 {
+		t.Errorf("FCFS@4525 demand %.3f, want < 1", d)
+	}
+	if d := demand(7525, VariantFCFS); d <= 1 {
+		t.Errorf("FCFS@7525 demand %.3f, want > 1", d)
+	}
+	// FRAME reaches the knee only at 13525.
+	if d := demand(10525, VariantFRAME); d >= 0.9 {
+		t.Errorf("FRAME@10525 demand %.3f, want comfortably < 0.9", d)
+	}
+	if d := demand(13525, VariantFRAME); d < 0.95 || d > 1.05 {
+		t.Errorf("FRAME@13525 demand %.3f, want at the knee (0.95–1.05)", d)
+	}
+	// FCFS− stays below saturation everywhere.
+	if d := demand(13525, VariantFCFSMinus); d >= 1 {
+		t.Errorf("FCFS-@13525 demand %.3f, want < 1", d)
+	}
+	// FRAME+ is the cheapest at every size.
+	for _, total := range spec.WorkloadSizes {
+		plus := demand(total, VariantFRAMEPlus)
+		for _, v := range []Variant{VariantFRAME, VariantFCFS, VariantFCFSMinus} {
+			if plus >= demand(total, v) {
+				t.Errorf("FRAME+ demand %.3f not lowest at %d vs %v", plus, total, v)
+			}
+		}
+	}
+}
+
+// TestDeliveryDemandMatchesHandFormula checks the closed form documented
+// on CostModel against the per-topic summation.
+func TestDeliveryDemandMatchesHandFormula(t *testing.T) {
+	cost := DefaultCostModel()
+	p := timing.PaperParams()
+	for _, total := range []int{1525, 7525} {
+		w, err := spec.NewWorkload(total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate := w.MessageRate()
+		// Replicated rate under FRAME: categories 2 and 5.
+		perMid := float64(total-25) / 3
+		repRate := perMid*10 + 5*2
+		want := (rate*float64(cost.Dispatch) +
+			repRate*(float64(cost.Replicate)+float64(cost.Coordinate))) /
+			(float64(time.Second) * float64(cost.DeliveryCores))
+		got := cost.DeliveryDemand(w, VariantFRAME, p)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("total %d: demand %.6f, hand formula %.6f", total, got, want)
+		}
+	}
+}
+
+func TestVariantPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown variant config did not panic")
+		}
+	}()
+	Variant(0).EngineConfig(timing.PaperParams())
+}

@@ -1,0 +1,180 @@
+package simcluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+)
+
+func multiOpts(t *testing.T, edges int) MultiOptions {
+	t.Helper()
+	w, err := spec.NewWorkload(1525)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MultiOptions{
+		Edges: edges,
+		PerEdge: Options{
+			Workload: w,
+			Variant:  VariantFRAME,
+			Seed:     3,
+			Warmup:   300 * time.Millisecond,
+			Measure:  1500 * time.Millisecond,
+			Drain:    time.Second,
+		},
+	}
+}
+
+func TestMultiEdgeValidation(t *testing.T) {
+	if _, err := RunMultiEdge(MultiOptions{Edges: 0}); err == nil {
+		t.Error("zero edges accepted")
+	}
+	bad := multiOpts(t, 2)
+	bad.CrashEdge = 5
+	if _, err := RunMultiEdge(bad); err == nil {
+		t.Error("out-of-range crash edge accepted")
+	}
+	bad = multiOpts(t, 1)
+	bad.CloudCost = -time.Second
+	if _, err := RunMultiEdge(bad); err == nil {
+		t.Error("negative cloud cost accepted")
+	}
+	bad = multiOpts(t, 1)
+	bad.PerEdge.Workload = nil
+	if _, err := RunMultiEdge(bad); err == nil {
+		t.Error("nil per-edge workload accepted")
+	}
+}
+
+func TestMultiEdgeSharedCloudScalesWithEdges(t *testing.T) {
+	utilAt := func(edges int) (*MultiResult, float64) {
+		res, err := RunMultiEdge(multiOpts(t, edges))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, res.CloudUtilization
+	}
+	one, u1 := utilAt(1)
+	three, u3 := utilAt(3)
+	if len(one.EdgeResults) != 1 || len(three.EdgeResults) != 3 {
+		t.Fatalf("edge result counts: %d, %d", len(one.EdgeResults), len(three.EdgeResults))
+	}
+	if u1 <= 0 {
+		t.Fatalf("single-edge cloud utilization %v", u1)
+	}
+	// Cloud load grows roughly linearly with the number of edges.
+	if u3 < 2.4*u1 || u3 > 3.6*u1 {
+		t.Errorf("cloud util at 3 edges = %.3f%%, want ≈3× single-edge %.3f%%", u3, u1)
+	}
+	if three.CloudMessages <= one.CloudMessages*2 {
+		t.Errorf("cloud messages: 1 edge %d, 3 edges %d", one.CloudMessages, three.CloudMessages)
+	}
+	// Every edge individually meets its contracts at this light load.
+	for e, res := range three.EdgeResults {
+		for _, tr := range res.Topics {
+			if tr.Topic.BestEffort() {
+				continue
+			}
+			if !tr.MeetsLossTolerance() {
+				t.Errorf("edge %d topic %d violates loss tolerance", e, tr.Topic.ID)
+			}
+		}
+	}
+}
+
+func TestMultiEdgeCrashIsolation(t *testing.T) {
+	opts := multiOpts(t, 2)
+	opts.PerEdge.CrashAt = 700 * time.Millisecond
+	opts.CrashEdge = 0
+	res, err := RunMultiEdge(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EdgeResults[0].Crashed {
+		t.Error("crash edge not marked crashed")
+	}
+	if res.EdgeResults[1].Crashed {
+		t.Error("healthy edge marked crashed")
+	}
+	// The crashed edge recovered (its backup dispatched), and the healthy
+	// edge is completely unaffected: zero losses, no recovery activity.
+	if res.EdgeResults[0].BackupStats.Published == 0 {
+		t.Error("crashed edge: no failover traffic reached its backup")
+	}
+	healthy := res.EdgeResults[1]
+	if healthy.BackupStats.RecoveryJobs != 0 {
+		t.Error("healthy edge ran recovery")
+	}
+	for _, tr := range healthy.Topics {
+		if tr.Lost != 0 {
+			t.Errorf("healthy edge topic %d lost %d messages", tr.Topic.ID, tr.Lost)
+		}
+	}
+	// Both edges still meet loss tolerance (the crash edge via recovery).
+	for e, er := range res.EdgeResults {
+		for _, tr := range er.Topics {
+			if tr.Topic.BestEffort() {
+				continue
+			}
+			if !tr.MeetsLossTolerance() {
+				t.Errorf("edge %d topic %d: loss run %d > Li %d",
+					e, tr.Topic.ID, tr.MaxConsecutiveLoss, tr.Topic.LossTolerance)
+			}
+		}
+	}
+}
+
+func TestMultiEdgeCloudSaturationDelaysOnlyCloudTraffic(t *testing.T) {
+	// Make the cloud host a severe bottleneck: per-edge cloud rate is
+	// 10 msg/s (5 topics × 2/s), so 4 edges × 10/s × 30ms ≈ 120% of one
+	// core.
+	opts := multiOpts(t, 4)
+	opts.CloudCores = 1
+	opts.CloudCost = 30 * time.Millisecond
+	res, err := RunMultiEdge(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CloudUtilization < 95 {
+		t.Fatalf("cloud not saturated: %.1f%%", res.CloudUtilization)
+	}
+	if res.CloudQueueP99 < 50*time.Millisecond {
+		t.Errorf("cloud P99 queueing %v too small for a saturated host", res.CloudQueueP99)
+	}
+	// Edge-bound categories still meet their deadlines: the shared-cloud
+	// bottleneck must not leak into edge latency.
+	for e, er := range res.EdgeResults {
+		for _, tr := range er.Topics {
+			if tr.Topic.Destination == spec.DestCloud {
+				continue
+			}
+			if rate := tr.LatencySuccessRate(); rate < 0.999 {
+				t.Errorf("edge %d topic %d (edge-bound): latency success %.4f", e, tr.Topic.ID, rate)
+			}
+		}
+	}
+}
+
+func TestMultiEdgeSingleEdgeMatchesRunShape(t *testing.T) {
+	// One edge through RunMultiEdge behaves like Run apart from the cloud
+	// host's added (tiny) ingest delay: same loss outcomes.
+	multi, err := RunMultiEdge(multiOpts(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(multiOpts(t, 1).PerEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, s := multi.EdgeResults[0], single
+	if len(m.Topics) != len(s.Topics) {
+		t.Fatalf("topic counts differ: %d vs %d", len(m.Topics), len(s.Topics))
+	}
+	for i := range m.Topics {
+		if m.Topics[i].Lost != s.Topics[i].Lost {
+			t.Errorf("topic %d: lost %d (multi) vs %d (single)",
+				i, m.Topics[i].Lost, s.Topics[i].Lost)
+		}
+	}
+}

@@ -1,0 +1,735 @@
+package simcluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/ringbuf"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/timing"
+	"repro/internal/wire"
+)
+
+// Options configures one simulated run.
+type Options struct {
+	// Workload is the topic set (see spec.NewWorkload). Required.
+	Workload *spec.Workload
+	// Variant selects the configuration under test.
+	Variant Variant
+	// Params are the timing parameters; zero-value means timing.PaperParams.
+	Params timing.Params
+	// Cost is the CPU cost model; zero-value means DefaultCostModel.
+	Cost CostModel
+	// Seed drives all randomness (publisher phases, link jitter, noise).
+	Seed int64
+	// Warmup precedes measurement (paper: 35 s; simulation default 1 s —
+	// queues reach regime in well under a second at these rates).
+	Warmup time.Duration
+	// Measure is the measurement window (paper: 60 s; default 6 s).
+	Measure time.Duration
+	// Drain allows in-flight messages to complete after creation stops
+	// (default 2 s).
+	Drain time.Duration
+	// CrashAt, when positive, kills the Primary that long into the
+	// measurement window (paper: half-way through).
+	CrashAt time.Duration
+	// BackupDetect is the Backup's detection delay after the crash
+	// (polling period × misses; default 25 ms, inside the 50 ms publisher
+	// fail-over bound x).
+	BackupDetect time.Duration
+	// SpeedNoise, in [0,1), scales all CPU costs by a per-run factor drawn
+	// from U[1−SpeedNoise, 1+SpeedNoise], modeling run-to-run host speed
+	// variation (the source of the paper's wide confidence intervals near
+	// saturation).
+	SpeedNoise float64
+	// TrackTopics lists topics whose full per-message latency series is
+	// recorded (Fig. 9).
+	TrackTopics []spec.TopicID
+	// MessageBufferCap overrides the per-topic Message Buffer size
+	// (default 32).
+	MessageBufferCap int
+	// CloudLink overrides the broker→cloud-subscriber latency model
+	// (default netsim.PaperCloudLink). Used by the Fig. 8 experiment.
+	CloudLink netsim.Model
+}
+
+func (o *Options) setDefaults() {
+	if o.Params == (timing.Params{}) {
+		o.Params = timing.PaperParams()
+	}
+	if o.Cost == (CostModel{}) {
+		o.Cost = DefaultCostModel()
+	}
+	if o.Warmup == 0 {
+		o.Warmup = time.Second
+	}
+	if o.Measure == 0 {
+		o.Measure = 6 * time.Second
+	}
+	if o.Drain == 0 {
+		o.Drain = 2 * time.Second
+	}
+	if o.BackupDetect == 0 {
+		o.BackupDetect = 25 * time.Millisecond
+	}
+	if o.MessageBufferCap == 0 {
+		o.MessageBufferCap = 32
+	}
+}
+
+// SeriesPoint is one delivered message of a tracked topic.
+type SeriesPoint struct {
+	Seq     uint64
+	Created time.Duration
+	Latency time.Duration
+	// Recovered marks deliveries that happened at or after the crash.
+	Recovered bool
+}
+
+// TopicResult is the per-topic outcome over the measurement window.
+type TopicResult struct {
+	Topic spec.Topic
+	// Created is the number of messages created within the window.
+	Created uint64
+	// Delivered counts distinct deliveries of those messages.
+	Delivered uint64
+	// Lost = Created − Delivered.
+	Lost uint64
+	// MaxConsecutiveLoss is the longest run of lost sequence numbers.
+	MaxConsecutiveLoss int
+	// DeadlineMet counts deliveries within the topic's deadline Di.
+	DeadlineMet uint64
+	// Duplicates counts discarded re-deliveries.
+	Duplicates uint64
+}
+
+// MeetsLossTolerance reports the Table 4 per-topic criterion.
+func (r TopicResult) MeetsLossTolerance() bool {
+	return r.MaxConsecutiveLoss <= r.Topic.LossTolerance
+}
+
+// LatencySuccessRate is the fraction of created messages delivered within
+// the deadline (Table 5 counts lost messages as misses).
+func (r TopicResult) LatencySuccessRate() float64 {
+	if r.Created == 0 {
+		return 1
+	}
+	return float64(r.DeadlineMet) / float64(r.Created)
+}
+
+// Utilization is the modeled per-module CPU usage over the measurement
+// window, in percent of the module's core budget (Fig. 7).
+type Utilization struct {
+	PrimaryDelivery float64
+	PrimaryProxy    float64
+	BackupDelivery  float64
+	BackupProxy     float64
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Variant     Variant
+	TotalTopics int
+	Measure     time.Duration
+	Crashed     bool
+
+	Topics []TopicResult
+	Util   Utilization
+	// PrimaryStats and BackupStats snapshot the engine counters.
+	PrimaryStats core.Stats
+	BackupStats  core.Stats
+	// Series holds tracked topics' delivery series (Fig. 9).
+	Series map[spec.TopicID][]SeriesPoint
+	// SpeedFactor is the host-speed multiplier this run drew.
+	SpeedFactor float64
+}
+
+// cluster wires the simulated deployment together.
+type cluster struct {
+	eng  *sim.Engine
+	opts Options
+	cost CostModel
+	rng  *rand.Rand
+
+	primary *simBroker
+	backup  *simBroker
+	pubs    []*simPublisher
+	subs    map[spec.TopicID]*topicSub
+
+	pubLink    netsim.Model // publisher→broker (ΔPB)
+	edgeLink   netsim.Model // broker→edge subscriber (ΔBS edge)
+	cloudLink  netsim.Model // broker→cloud subscriber (ΔBS cloud)
+	brokerLink netsim.Model // Primary→Backup (ΔBB)
+
+	measureStart time.Duration
+	measureEnd   time.Duration
+	crashTime    time.Duration // absolute; 0 = no crash
+	tracked      map[spec.TopicID]bool
+
+	workload *spec.Workload // variant-adjusted topic set
+	factor   float64        // host speed multiplier drawn this run
+	cloud    *cloudHost     // shared cloud ingest host (nil: direct delivery)
+}
+
+// Run executes one simulated evaluation run.
+func Run(opts Options) (*Result, error) {
+	c, err := build(opts, sim.New(), nil)
+	if err != nil {
+		return nil, err
+	}
+	c.start()
+	c.eng.Run(c.measureEnd + c.opts.Drain)
+	return c.collect(), nil
+}
+
+// validate checks option ranges shared by Run and RunMultiEdge.
+func (o *Options) validate() error {
+	if o.Workload == nil {
+		return fmt.Errorf("simcluster: nil workload")
+	}
+	o.setDefaults()
+	if err := o.Cost.Validate(); err != nil {
+		return err
+	}
+	if err := o.Params.Validate(); err != nil {
+		return err
+	}
+	if o.SpeedNoise < 0 || o.SpeedNoise >= 1 {
+		return fmt.Errorf("simcluster: speed noise %v outside [0,1)", o.SpeedNoise)
+	}
+	if o.CrashAt < 0 || (o.CrashAt > 0 && o.CrashAt > o.Measure) {
+		return fmt.Errorf("simcluster: crash offset %v outside measure window %v", o.CrashAt, o.Measure)
+	}
+	return nil
+}
+
+// build wires one edge cluster onto the given engine. cloud, when non-nil,
+// is a shared cloud ingest host (multi-edge extension).
+func build(opts Options, eng *sim.Engine, cloud *cloudHost) (*cluster, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	factor := 1.0
+	if opts.SpeedNoise > 0 {
+		factor = 1 - opts.SpeedNoise + 2*opts.SpeedNoise*rng.Float64()
+	}
+
+	c := &cluster{
+		eng:          eng,
+		opts:         opts,
+		cost:         opts.Cost.scale(factor),
+		rng:          rng,
+		subs:         make(map[spec.TopicID]*topicSub, len(opts.Workload.Topics)),
+		measureStart: opts.Warmup,
+		measureEnd:   opts.Warmup + opts.Measure,
+		tracked:      make(map[spec.TopicID]bool, len(opts.TrackTopics)),
+	}
+	for _, id := range opts.TrackTopics {
+		c.tracked[id] = true
+	}
+	if opts.CrashAt > 0 {
+		c.crashTime = opts.Warmup + opts.CrashAt
+	}
+	c.pubLink = netsim.PaperEdgeLink(rng.Int63())
+	c.edgeLink = netsim.PaperEdgeLink(rng.Int63())
+	c.brokerLink = netsim.PaperBrokerLink(rng.Int63())
+	if opts.CloudLink != nil {
+		c.cloudLink = opts.CloudLink
+	} else {
+		c.cloudLink = netsim.PaperCloudLink(rng.Int63())
+	}
+
+	workload := opts.Variant.PrepareWorkload(opts.Workload)
+	engineCfg := opts.Variant.EngineConfig(opts.Params)
+	engineCfg.MessageBufferCap = opts.MessageBufferCap
+
+	var err error
+	c.primary, err = newSimBroker(c, "primary", engineCfg, workload)
+	if err != nil {
+		return nil, err
+	}
+	backupCfg := engineCfg
+	backupCfg.HasBackup = false // a promoted Backup has no further backup
+	c.backup, err = newSimBroker(c, "backup", backupCfg, workload)
+	if err != nil {
+		return nil, err
+	}
+	c.primary.peer = c.backup
+
+	for _, t := range workload.Topics {
+		c.subs[t.ID] = &topicSub{topic: t, seen: make(map[uint64]bool)}
+	}
+	c.buildPublishers(workload)
+	c.workload = workload
+	c.factor = factor
+	c.cloud = cloud
+	return c, nil
+}
+
+// start arms the crash event; traffic events were armed by build.
+func (c *cluster) start() {
+	if c.crashTime > 0 {
+		c.eng.At(c.crashTime, c.injectCrash)
+	}
+}
+
+// buildPublishers groups topics into proxies as in §VI: categories 0 and 1
+// in proxies of ten topics, categories 2–4 in proxies of fifty, category 5
+// one topic per publisher; each proxy sends one message per topic per
+// period, in a batch.
+func (c *cluster) buildPublishers(w *spec.Workload) {
+	groups := make(map[int][]spec.Topic) // key: category
+	for _, t := range w.Topics {
+		groups[t.Category] = append(groups[t.Category], t)
+	}
+	emit := func(topics []spec.Topic, size int) {
+		for len(topics) > 0 {
+			n := size
+			if n > len(topics) {
+				n = len(topics)
+			}
+			c.addPublisher(topics[:n])
+			topics = topics[n:]
+		}
+	}
+	emit(append(groups[0], groups[1]...), spec.TopicsPerFastProxy)
+	var mid []spec.Topic
+	mid = append(mid, groups[2]...)
+	mid = append(mid, groups[3]...)
+	mid = append(mid, groups[4]...)
+	emit(mid, spec.TopicsPerSensorProxy)
+	emit(groups[5], 1)
+}
+
+func (c *cluster) addPublisher(topics []spec.Topic) {
+	own := append([]spec.Topic(nil), topics...)
+	p := &simPublisher{
+		c:      c,
+		topics: own,
+		period: own[0].Period,
+		seqs:   make([]uint64, len(own)),
+	}
+	for i, t := range own {
+		if t.Retention > 0 {
+			if p.retained == nil {
+				p.retained = make([]*ringbuf.Ring[wire.Message], len(own))
+			}
+			p.retained[i] = ringbuf.New[wire.Message](t.Retention)
+		}
+		if t.Period != p.period {
+			panic(fmt.Sprintf("simcluster: proxy mixes periods %v and %v", p.period, t.Period))
+		}
+		_ = i
+	}
+	c.pubs = append(c.pubs, p)
+	phase := time.Duration(c.rng.Int63n(int64(p.period)))
+	c.eng.At(phase, p.tick)
+}
+
+// injectCrash is the §VI-A fault injection (SIGKILL of the Primary): the
+// Primary stops instantly; the Backup promotes after its detection delay;
+// each publisher fails over x after the crash and re-sends its retained
+// messages to the Backup.
+func (c *cluster) injectCrash() {
+	c.primary.crashed = true
+	c.eng.After(c.opts.BackupDetect, c.backup.promoteNow)
+	c.eng.After(c.opts.Params.Failover, func() {
+		for _, p := range c.pubs {
+			p.failOver()
+		}
+	})
+}
+
+func (c *cluster) inMeasureWindow(at time.Duration) bool {
+	return at >= c.measureStart && at < c.measureEnd
+}
+
+// collect aggregates the run's outcome.
+func (c *cluster) collect() *Result {
+	w, factor := c.workload, c.factor
+	res := &Result{
+		Variant:      c.opts.Variant,
+		TotalTopics:  c.opts.Workload.TotalTopics,
+		Measure:      c.opts.Measure,
+		Crashed:      c.crashTime > 0,
+		Topics:       make([]TopicResult, 0, len(w.Topics)),
+		PrimaryStats: c.primary.engine.Stats(),
+		BackupStats:  c.backup.engine.Stats(),
+		Series:       make(map[spec.TopicID][]SeriesPoint, len(c.tracked)),
+		SpeedFactor:  factor,
+	}
+	window := c.opts.Measure
+	res.Util = Utilization{
+		PrimaryDelivery: c.primary.deliveryUtil.Percent(window),
+		PrimaryProxy:    c.primary.proxyUtil.Percent(window),
+		BackupDelivery:  c.backup.deliveryUtil.Percent(window),
+		BackupProxy:     c.backup.proxyUtil.Percent(window),
+	}
+	// Per-topic outcomes need each topic's created-seq range in the window.
+	ranges := make(map[spec.TopicID][2]uint64, len(w.Topics))
+	for _, p := range c.pubs {
+		for i, t := range p.topics {
+			ranges[t.ID] = [2]uint64{p.firstMeasured[i], p.lastMeasured[i]}
+		}
+	}
+	for _, t := range w.Topics {
+		sub := c.subs[t.ID]
+		rg := ranges[t.ID]
+		tr := TopicResult{Topic: t, Duplicates: sub.dups}
+		if rg[0] > 0 {
+			maxRun, run := 0, 0
+			for s := rg[0]; s <= rg[1]; s++ {
+				tr.Created++
+				if sub.seen[s] {
+					tr.Delivered++
+					run = 0
+					continue
+				}
+				run++
+				if run > maxRun {
+					maxRun = run
+				}
+			}
+			tr.MaxConsecutiveLoss = maxRun
+			tr.Lost = tr.Created - tr.Delivered
+			tr.DeadlineMet = sub.met
+		}
+		res.Topics = append(res.Topics, tr)
+		if c.tracked[t.ID] {
+			res.Series[t.ID] = sub.series
+		}
+	}
+	return res
+}
+
+// simPublisher is one proxy batching messages for its topics.
+type simPublisher struct {
+	c        *cluster
+	topics   []spec.Topic
+	period   time.Duration
+	seqs     []uint64
+	retained []*ringbuf.Ring[wire.Message]
+
+	failedOver    bool
+	firstMeasured []uint64
+	lastMeasured  []uint64
+}
+
+// tick creates one message per owned topic and sends the batch.
+func (p *simPublisher) tick() {
+	now := p.c.eng.Now()
+	if now >= p.c.measureEnd {
+		return // creation stops at the end of the measurement window
+	}
+	if p.firstMeasured == nil {
+		p.firstMeasured = make([]uint64, len(p.topics))
+		p.lastMeasured = make([]uint64, len(p.topics))
+	}
+	inWindow := p.c.inMeasureWindow(now)
+	for i, t := range p.topics {
+		p.seqs[i]++
+		seq := p.seqs[i]
+		m := wire.Message{Topic: t.ID, Seq: seq, Created: now}
+		if p.retained != nil && p.retained[i] != nil {
+			p.retained[i].Push(m)
+		}
+		if inWindow {
+			if p.firstMeasured[i] == 0 {
+				p.firstMeasured[i] = seq
+			}
+			p.lastMeasured[i] = seq
+		}
+		p.send(m)
+	}
+	p.c.eng.After(p.period, p.tick)
+}
+
+// send routes one message to the broker the publisher currently trusts.
+func (p *simPublisher) send(m wire.Message) {
+	target := p.c.primary
+	if p.failedOver {
+		target = p.c.backup
+	}
+	delay := p.c.pubLink.Latency(p.c.eng.Now())
+	p.c.eng.After(delay, func() {
+		target.submitTask(proxyTask{kind: taskPublish, msg: m})
+	})
+}
+
+// failOver redirects to the Backup and re-sends all retained messages
+// (§III-B: "During fault recovery, a publisher will send all Ni retained
+// messages to its Backup").
+func (p *simPublisher) failOver() {
+	if p.failedOver {
+		return
+	}
+	p.failedOver = true
+	if p.retained == nil {
+		return
+	}
+	now := p.c.eng.Now()
+	for i := range p.topics {
+		ring := p.retained[i]
+		if ring == nil {
+			continue
+		}
+		ring.Do(func(_ uint64, m wire.Message) {
+			delay := p.c.pubLink.Latency(now)
+			p.c.eng.After(delay, func() {
+				p.c.backup.submitTask(proxyTask{kind: taskPublish, msg: m})
+			})
+		})
+	}
+}
+
+// topicSub is the subscriber-side record for one topic.
+type topicSub struct {
+	topic  spec.Topic
+	seen   map[uint64]bool
+	met    uint64
+	dups   uint64
+	series []SeriesPoint
+}
+
+// deliver records one dispatch arrival at the subscriber.
+func (s *topicSub) deliver(c *cluster, m wire.Message, now time.Duration) {
+	if s.seen[m.Seq] {
+		s.dups++
+		return
+	}
+	s.seen[m.Seq] = true
+	latency := now - m.Created
+	if c.inMeasureWindow(m.Created) && latency <= s.topic.Deadline {
+		s.met++
+	}
+	if c.tracked[s.topic.ID] {
+		s.series = append(s.series, SeriesPoint{
+			Seq:       m.Seq,
+			Created:   m.Created,
+			Latency:   latency,
+			Recovered: c.crashTime > 0 && now >= c.crashTime,
+		})
+	}
+}
+
+// taskKind labels Message Proxy work items.
+type taskKind int
+
+const (
+	taskPublish taskKind = iota + 1
+	taskReplica
+	taskPrune
+)
+
+// proxyTask is one arrival to be absorbed by a broker's Message Proxy.
+type proxyTask struct {
+	kind           taskKind
+	msg            wire.Message
+	arrivedPrimary time.Duration // for replicas
+	topic          spec.TopicID  // for prunes
+	seq            uint64        // for prunes
+}
+
+// simBroker is one broker host: a core.Engine plus modeled Proxy and
+// Delivery modules.
+type simBroker struct {
+	c      *cluster
+	name   string
+	engine *core.Engine
+	peer   *simBroker // Primary→Backup; nil on the Backup
+
+	crashed   bool
+	isPrimary bool
+
+	// Message Proxy module (ProxyCores servers over a FIFO).
+	proxyQueue []proxyTask
+	proxyHead  int
+	proxyBusy  int
+	proxyUtil  *metrics.Utilization
+
+	// Message Delivery module (DeliveryCores servers over the job queue).
+	deliveryBusy int
+	deliveryUtil *metrics.Utilization
+}
+
+func newSimBroker(c *cluster, name string, cfg core.Config, w *spec.Workload) (*simBroker, error) {
+	engine, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range w.Topics {
+		if err := engine.AddTopic(t); err != nil {
+			return nil, fmt.Errorf("simcluster: %s: %w", name, err)
+		}
+	}
+	return &simBroker{
+		c:            c,
+		name:         name,
+		engine:       engine,
+		isPrimary:    name == "primary",
+		proxyUtil:    metrics.NewUtilization(c.cost.ProxyCores),
+		deliveryUtil: metrics.NewUtilization(c.cost.DeliveryCores),
+	}, nil
+}
+
+// submitTask is the Message Proxy intake: FIFO over ProxyCores servers.
+func (b *simBroker) submitTask(t proxyTask) {
+	if b.crashed {
+		return
+	}
+	b.proxyQueue = append(b.proxyQueue, t)
+	b.proxyKick()
+}
+
+func (b *simBroker) proxyKick() {
+	for b.proxyBusy < b.c.cost.ProxyCores && b.proxyHead < len(b.proxyQueue) {
+		task := b.proxyQueue[b.proxyHead]
+		b.proxyQueue[b.proxyHead] = proxyTask{}
+		b.proxyHead++
+		if b.proxyHead == len(b.proxyQueue) {
+			b.proxyQueue = b.proxyQueue[:0]
+			b.proxyHead = 0
+		}
+		b.proxyBusy++
+		cost := b.proxyCost(task)
+		b.c.eng.After(cost, func() { b.proxyComplete(task, cost) })
+	}
+}
+
+func (b *simBroker) proxyCost(t proxyTask) time.Duration {
+	switch t.kind {
+	case taskPublish:
+		jobs := 1
+		if b.engine.WillReplicate(t.msg.Topic) {
+			jobs = 2
+		}
+		return b.c.cost.ProxyPublish + time.Duration(jobs)*b.c.cost.ProxyPerJob
+	case taskReplica:
+		return b.c.cost.ReplicaStore
+	case taskPrune:
+		return b.c.cost.PruneApply
+	default:
+		panic(fmt.Sprintf("simcluster: unknown task kind %d", int(t.kind)))
+	}
+}
+
+func (b *simBroker) proxyComplete(t proxyTask, cost time.Duration) {
+	if b.crashed {
+		return
+	}
+	b.proxyBusy--
+	if b.c.inMeasureWindow(b.c.eng.Now()) {
+		b.proxyUtil.AddBusy(cost)
+	}
+	switch t.kind {
+	case taskPublish:
+		// Ignore errors: unknown topics cannot occur (same workload).
+		_ = b.engine.OnPublish(t.msg, b.c.eng.Now())
+		b.deliveryKick()
+	case taskReplica:
+		_ = b.engine.OnReplica(t.msg, t.arrivedPrimary)
+	case taskPrune:
+		b.engine.OnPrune(t.topic, t.seq)
+	}
+	b.proxyKick()
+}
+
+// deliveryKick pulls work while servers are free (Message Delivery module).
+func (b *simBroker) deliveryKick() {
+	if b.crashed {
+		return
+	}
+	if !b.isPrimary {
+		return // a Backup's delivery module idles until promotion
+	}
+	for b.deliveryBusy < b.c.cost.DeliveryCores {
+		w, ok := b.engine.NextWork()
+		if !ok {
+			return
+		}
+		cost := b.deliveryCost(w)
+		b.deliveryBusy++
+		b.c.eng.After(cost, func() { b.deliveryComplete(w, cost) })
+	}
+}
+
+func (b *simBroker) deliveryCost(w core.Work) time.Duration {
+	switch w.Kind {
+	case core.WorkDispatch:
+		cost := b.c.cost.Dispatch
+		// Dispatch-side coordination (cancel + prune request) applies when
+		// the topic replicates and coordination is on.
+		if b.engine.Config().Coordination && b.engine.WillReplicate(w.Msg.Topic) {
+			cost += b.c.cost.Coordinate
+		}
+		return cost
+	case core.WorkReplicate:
+		return b.c.cost.Replicate
+	default:
+		panic(fmt.Sprintf("simcluster: unexpected work kind %d", int(w.Kind)))
+	}
+}
+
+func (b *simBroker) deliveryComplete(w core.Work, cost time.Duration) {
+	if b.crashed {
+		return
+	}
+	b.deliveryBusy--
+	now := b.c.eng.Now()
+	if b.c.inMeasureWindow(now) {
+		b.deliveryUtil.AddBusy(cost)
+	}
+	switch w.Kind {
+	case core.WorkDispatch:
+		sub := b.c.subs[w.Msg.Topic]
+		var link netsim.Model = b.c.edgeLink
+		cloudBound := sub.topic.Destination == spec.DestCloud
+		if cloudBound {
+			link = b.c.cloudLink
+		}
+		m := w.Msg
+		cc := b.c
+		b.c.eng.After(link.Latency(now), func() {
+			if cloudBound && cc.cloud != nil {
+				cc.cloud.submit(func(at time.Duration) { sub.deliver(cc, m, at) })
+				return
+			}
+			sub.deliver(cc, m, cc.eng.Now())
+		})
+		co := b.engine.OnDispatched(w.Job)
+		if co.SendPrune && b.peer != nil && !b.peer.crashed {
+			peer := b.peer
+			b.c.eng.After(b.c.brokerLink.Latency(now), func() {
+				peer.submitTask(proxyTask{kind: taskPrune, topic: co.Topic, seq: co.Seq})
+			})
+		}
+	case core.WorkReplicate:
+		if b.peer != nil && !b.peer.crashed {
+			b.engine.OnReplicated(w.Job)
+			peer := b.peer
+			m := w.Msg
+			ap := w.ArrivedPrimary
+			b.c.eng.After(b.c.brokerLink.Latency(now), func() {
+				peer.submitTask(proxyTask{kind: taskReplica, msg: m, arrivedPrimary: ap})
+			})
+		}
+	}
+	b.deliveryKick()
+}
+
+// promoteNow is the Backup's §IV-A recovery entry point.
+func (b *simBroker) promoteNow() {
+	if b.crashed || b.isPrimary {
+		return
+	}
+	b.isPrimary = true
+	b.engine.Promote()
+	b.deliveryKick()
+}

@@ -1,0 +1,395 @@
+package simcluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/timing"
+)
+
+// quickOpts returns fast-running options over the smallest paper workload.
+func quickOpts(t *testing.T, variant Variant) Options {
+	t.Helper()
+	w, err := spec.NewWorkload(1525)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		Workload: w,
+		Variant:  variant,
+		Seed:     1,
+		Warmup:   300 * time.Millisecond,
+		Measure:  1500 * time.Millisecond,
+		Drain:    time.Second,
+	}
+}
+
+func aggregate(res *Result) (lossOK float64, latOK float64) {
+	var okTopics, topics int
+	var met, created uint64
+	for _, tr := range res.Topics {
+		met += tr.DeadlineMet
+		created += tr.Created
+		if tr.Topic.BestEffort() {
+			continue
+		}
+		topics++
+		if tr.MeetsLossTolerance() {
+			okTopics++
+		}
+	}
+	return float64(okTopics) / float64(topics), float64(met) / float64(created)
+}
+
+func TestFaultFreeRunAllVariantsHealthyAt1525(t *testing.T) {
+	// §VI: "100% success rate for all with 1525 topics."
+	for _, v := range Variants {
+		res, err := Run(quickOpts(t, v))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		lossOK, latOK := aggregate(res)
+		if lossOK != 1 {
+			t.Errorf("%v: loss-tolerance success = %v, want 1 (fault-free)", v, lossOK)
+		}
+		if latOK < 0.999 {
+			t.Errorf("%v: latency success = %v, want ≈ 1", v, latOK)
+		}
+		if res.Util.PrimaryDelivery <= 0 || res.Util.PrimaryDelivery >= 100 {
+			t.Errorf("%v: delivery util = %v", v, res.Util.PrimaryDelivery)
+		}
+		if res.Crashed {
+			t.Errorf("%v: fault-free run marked crashed", v)
+		}
+	}
+}
+
+func TestCrashRunFRAMEMeetsAllLossTolerance(t *testing.T) {
+	// The Lemma 1 deadline assignment plus retention re-send must cover a
+	// crash at low load: no topic may exceed its Li.
+	opts := quickOpts(t, VariantFRAME)
+	opts.CrashAt = 700 * time.Millisecond
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed {
+		t.Fatal("crash not recorded")
+	}
+	for _, tr := range res.Topics {
+		if tr.Topic.BestEffort() {
+			continue
+		}
+		if !tr.MeetsLossTolerance() {
+			t.Errorf("topic %d (cat %d, Li=%d): max consecutive loss %d",
+				tr.Topic.ID, tr.Topic.Category, tr.Topic.LossTolerance, tr.MaxConsecutiveLoss)
+		}
+	}
+	// The backup took over: its engine dispatched and some publishers
+	// re-sent retained messages.
+	if res.BackupStats.Published == 0 {
+		t.Error("backup received no publishes after failover")
+	}
+}
+
+// TestLemma1HoldsAcrossCrashTimes sweeps the crash instant across a period
+// boundary: the loss-tolerance contract must hold regardless of crash
+// phase (the worst case in Lemma 1's proof is crash just before a batch).
+func TestLemma1HoldsAcrossCrashTimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep is slow")
+	}
+	for _, crashOffset := range []time.Duration{
+		600 * time.Millisecond,
+		625 * time.Millisecond,
+		649 * time.Millisecond,
+		651 * time.Millisecond,
+		675 * time.Millisecond,
+		699 * time.Millisecond,
+	} {
+		opts := quickOpts(t, VariantFRAME)
+		opts.Seed = int64(crashOffset)
+		opts.CrashAt = crashOffset
+		res, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range res.Topics {
+			if tr.Topic.BestEffort() {
+				continue
+			}
+			if !tr.MeetsLossTolerance() {
+				t.Errorf("crash@%v topic %d (cat %d): loss run %d > Li %d",
+					crashOffset, tr.Topic.ID, tr.Topic.Category,
+					tr.MaxConsecutiveLoss, tr.Topic.LossTolerance)
+			}
+		}
+	}
+}
+
+func TestOverloadBreaksLossToleranceForFCFS(t *testing.T) {
+	// Inflate costs so even 1525 topics saturate FCFS's delivery module:
+	// replication lags and a crash exposes losses beyond Li (the 7525-topic
+	// paper collapse, scaled down to keep the test fast).
+	opts := quickOpts(t, VariantFCFS)
+	cost := DefaultCostModel()
+	cost.Dispatch = 60 * time.Microsecond
+	cost.Replicate = 60 * time.Microsecond
+	cost.Coordinate = 60 * time.Microsecond
+	opts.Cost = cost
+	opts.Measure = 2 * time.Second
+	opts.CrashAt = 1500 * time.Millisecond
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossOK, latOK := aggregate(res)
+	if lossOK > 0.3 {
+		t.Errorf("overloaded FCFS loss-tolerance success = %v, want collapse", lossOK)
+	}
+	if latOK > 0.9 {
+		t.Errorf("overloaded FCFS latency success = %v, want degradation", latOK)
+	}
+	// FRAME under the same inflated cost still meets loss tolerance: its
+	// selective replication keeps the delivery module under capacity.
+	opts.Variant = VariantFRAME
+	res, err = Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossOK, _ = aggregate(res)
+	if lossOK < 0.99 {
+		t.Errorf("FRAME under same costs: loss-tolerance success = %v, want ≈ 1", lossOK)
+	}
+}
+
+func TestDeliveryDemandMatchesSimulatedUtilization(t *testing.T) {
+	w, err := spec.NewWorkload(1525)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range Variants {
+		demand := DefaultCostModel().DeliveryDemand(w, v, timing.PaperParams())
+		res, err := Run(quickOpts(t, v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Util.PrimaryDelivery / 100
+		if math.Abs(got-demand) > 0.02+0.05*demand {
+			t.Errorf("%v: simulated util %.4f vs predicted demand %.4f", v, got, demand)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	run := func() *Result {
+		opts := quickOpts(t, VariantFRAME)
+		opts.CrashAt = 700 * time.Millisecond
+		opts.SpeedNoise = 0.07
+		res, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.SpeedFactor != b.SpeedFactor {
+		t.Fatalf("speed factors differ: %v vs %v", a.SpeedFactor, b.SpeedFactor)
+	}
+	if len(a.Topics) != len(b.Topics) {
+		t.Fatalf("topic counts differ")
+	}
+	for i := range a.Topics {
+		if a.Topics[i] != b.Topics[i] {
+			t.Fatalf("topic %d results differ:\n%+v\n%+v", i, a.Topics[i], b.Topics[i])
+		}
+	}
+	if a.Util != b.Util {
+		t.Errorf("utilizations differ: %+v vs %+v", a.Util, b.Util)
+	}
+}
+
+func TestTrackedTopicSeries(t *testing.T) {
+	opts := quickOpts(t, VariantFRAME)
+	opts.TrackTopics = []spec.TopicID{0, 20} // a cat-0 and a cat-2 topic
+	opts.CrashAt = 700 * time.Millisecond
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range opts.TrackTopics {
+		series := res.Series[id]
+		if len(series) == 0 {
+			t.Fatalf("topic %d: empty series", id)
+		}
+		var sawRecovered bool
+		for i, pt := range series {
+			if pt.Latency < 0 {
+				t.Errorf("topic %d point %d: negative latency %v", id, i, pt.Latency)
+			}
+			if i > 0 && pt.Seq <= series[i-1].Seq {
+				t.Errorf("topic %d: series seq not increasing at %d", id, i)
+			}
+			if pt.Recovered {
+				sawRecovered = true
+			}
+		}
+		if !sawRecovered {
+			t.Errorf("topic %d: no post-crash deliveries in series", id)
+		}
+	}
+	if len(res.Series) != len(opts.TrackTopics) {
+		t.Errorf("series map has %d entries, want %d", len(res.Series), len(opts.TrackTopics))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	w, err := spec.NewWorkload(1525)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Options{Variant: VariantFRAME}); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if _, err := Run(Options{Workload: w, Variant: VariantFRAME, SpeedNoise: 1.5}); err == nil {
+		t.Error("speed noise ≥ 1 accepted")
+	}
+	if _, err := Run(Options{Workload: w, Variant: VariantFRAME, Measure: time.Second, CrashAt: 2 * time.Second}); err == nil {
+		t.Error("crash beyond window accepted")
+	}
+	bad := DefaultCostModel()
+	bad.Dispatch = 0
+	if _, err := Run(Options{Workload: w, Variant: VariantFRAME, Cost: bad}); err == nil {
+		t.Error("zero dispatch cost accepted")
+	}
+}
+
+func TestVariantHelpers(t *testing.T) {
+	if VariantFRAME.String() != "FRAME" || VariantFRAMEPlus.String() != "FRAME+" ||
+		VariantFCFS.String() != "FCFS" || VariantFCFSMinus.String() != "FCFS-" {
+		t.Error("variant labels wrong")
+	}
+	if Variant(9).String() != "Variant(9)" {
+		t.Error("unknown variant label wrong")
+	}
+	w, err := spec.NewWorkload(1525)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plus := VariantFRAMEPlus.PrepareWorkload(w)
+	if plus == w {
+		t.Error("FRAME+ did not copy the workload")
+	}
+	if same := VariantFRAME.PrepareWorkload(w); same != w {
+		t.Error("FRAME rewrote the workload")
+	}
+	cfgPlus := VariantFRAMEPlus.EngineConfig(timing.PaperParams())
+	cfgFrame := VariantFRAME.EngineConfig(timing.PaperParams())
+	if cfgPlus != cfgFrame {
+		t.Error("FRAME+ engine config differs from FRAME")
+	}
+}
+
+func TestReplicationSuppressionDiffersByVariant(t *testing.T) {
+	opts := quickOpts(t, VariantFRAMEPlus)
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrimaryStats.ReplicationJobs != 0 {
+		t.Errorf("FRAME+ generated %d replication jobs, want 0", res.PrimaryStats.ReplicationJobs)
+	}
+	opts = quickOpts(t, VariantFRAME)
+	res, err = Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrimaryStats.ReplicationJobs == 0 {
+		t.Error("FRAME generated no replication jobs (categories 2 and 5 must replicate)")
+	}
+	opts = quickOpts(t, VariantFCFS)
+	resF, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resF.PrimaryStats.ReplicationJobs <= res.PrimaryStats.ReplicationJobs {
+		t.Error("FCFS should replicate strictly more than FRAME")
+	}
+}
+
+func TestCoordinationPrunesBackupBuffer(t *testing.T) {
+	// Under FRAME, dispatched messages prune their replicas: at the end of
+	// a fault-free run the backup holds (almost) no live copies.
+	opts := quickOpts(t, VariantFRAME)
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BackupStats.ReplicasStored == 0 {
+		t.Fatal("no replicas stored")
+	}
+	applied := float64(res.BackupStats.PrunesApplied)
+	stored := float64(res.BackupStats.ReplicasStored)
+	if applied < 0.95*stored {
+		t.Errorf("prunes applied %v of %v replicas; want ≥ 95%%", applied, stored)
+	}
+	// FCFS− never prunes.
+	opts = quickOpts(t, VariantFCFSMinus)
+	res, err = Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BackupStats.PrunesApplied != 0 {
+		t.Errorf("FCFS− applied %d prunes, want 0", res.BackupStats.PrunesApplied)
+	}
+}
+
+// TestRecoveryLatencyPenaltyShape reproduces Fig. 9's FCFS− vs FRAME
+// contrast in miniature: without coordination the Backup drains a full
+// Backup Buffer at promotion, so the peak post-crash latency far exceeds
+// FRAME's.
+func TestRecoveryLatencyPenaltyShape(t *testing.T) {
+	peak := func(v Variant) time.Duration {
+		opts := quickOpts(t, v)
+		opts.CrashAt = 700 * time.Millisecond
+		opts.TrackTopics = []spec.TopicID{20} // a category-2 topic
+		res, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var max time.Duration
+		for _, pt := range res.Series[20] {
+			if pt.Recovered && pt.Latency > max {
+				max = pt.Latency
+			}
+		}
+		return max
+	}
+	frame := peak(VariantFRAME)
+	minus := peak(VariantFCFSMinus)
+	if minus <= frame {
+		t.Errorf("FCFS− recovery peak %v not above FRAME's %v", minus, frame)
+	}
+	if minus < 35*time.Millisecond {
+		t.Errorf("FCFS− recovery peak %v implausibly low (full buffer drain expected)", minus)
+	}
+}
+
+func BenchmarkSimRun1525FRAME(b *testing.B) {
+	w, err := spec.NewWorkload(1525)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := Run(Options{
+			Workload: w, Variant: VariantFRAME, Seed: int64(i),
+			Warmup: 200 * time.Millisecond, Measure: time.Second, Drain: 500 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

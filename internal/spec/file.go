@@ -1,0 +1,125 @@
+package spec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseTopics reads a topic specification file: one topic per line,
+// comma-separated fields
+//
+//	id, period_ms, deadline_ms, loss_tolerance, retention, destination
+//
+// where loss_tolerance is a non-negative integer or "inf" (best effort)
+// and destination is "edge" or "cloud". Blank lines and lines starting
+// with '#' are ignored. This is the on-disk format used by the cmd/ tools.
+func ParseTopics(r io.Reader) ([]Topic, error) {
+	var out []Topic
+	seen := make(map[TopicID]bool)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseTopicLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("spec: line %d: %w", lineNo, err)
+		}
+		if seen[t.ID] {
+			return nil, fmt.Errorf("spec: line %d: duplicate topic id %d", lineNo, t.ID)
+		}
+		seen[t.ID] = true
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("spec: read: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("spec: no topics in input")
+	}
+	return out, nil
+}
+
+func parseTopicLine(line string) (Topic, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) != 6 {
+		return Topic{}, fmt.Errorf("want 6 fields (id,period_ms,deadline_ms,loss,retention,dest), got %d", len(fields))
+	}
+	for i := range fields {
+		fields[i] = strings.TrimSpace(fields[i])
+	}
+	id, err := strconv.ParseUint(fields[0], 10, 32)
+	if err != nil {
+		return Topic{}, fmt.Errorf("id %q: %w", fields[0], err)
+	}
+	period, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return Topic{}, fmt.Errorf("period %q: %w", fields[1], err)
+	}
+	deadline, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Topic{}, fmt.Errorf("deadline %q: %w", fields[2], err)
+	}
+	loss := 0
+	if strings.EqualFold(fields[3], "inf") {
+		loss = LossUnbounded
+	} else if loss, err = strconv.Atoi(fields[3]); err != nil {
+		return Topic{}, fmt.Errorf("loss tolerance %q: %w", fields[3], err)
+	}
+	retention, err := strconv.Atoi(fields[4])
+	if err != nil {
+		return Topic{}, fmt.Errorf("retention %q: %w", fields[4], err)
+	}
+	var dest Destination
+	switch strings.ToLower(fields[5]) {
+	case "edge":
+		dest = DestEdge
+	case "cloud":
+		dest = DestCloud
+	default:
+		return Topic{}, fmt.Errorf("destination %q: want edge or cloud", fields[5])
+	}
+	t := Topic{
+		ID:            TopicID(id),
+		Category:      -1,
+		Period:        time.Duration(period * float64(time.Millisecond)),
+		Deadline:      time.Duration(deadline * float64(time.Millisecond)),
+		LossTolerance: loss,
+		Retention:     retention,
+		Destination:   dest,
+		PayloadSize:   PayloadSize,
+	}
+	if err := t.Validate(); err != nil {
+		return Topic{}, err
+	}
+	return t, nil
+}
+
+// FormatTopics renders topics in the ParseTopics format, with a header.
+func FormatTopics(topics []Topic) string {
+	var b strings.Builder
+	b.WriteString("# id, period_ms, deadline_ms, loss_tolerance, retention, destination\n")
+	for _, t := range topics {
+		loss := strconv.Itoa(t.LossTolerance)
+		if t.BestEffort() {
+			loss = "inf"
+		}
+		dest := "edge"
+		if t.Destination == DestCloud {
+			dest = "cloud"
+		}
+		fmt.Fprintf(&b, "%d, %g, %g, %s, %d, %s\n",
+			t.ID,
+			float64(t.Period)/float64(time.Millisecond),
+			float64(t.Deadline)/float64(time.Millisecond),
+			loss, t.Retention, dest)
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTopicsValid(t *testing.T) {
+	input := `
+# comment
+0, 50, 50, 0, 2, edge
+1, 50, 50, 3, 0, edge
+
+5, 500, 500.5, inf, 1, cloud
+`
+	topics, err := ParseTopics(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topics) != 3 {
+		t.Fatalf("parsed %d topics, want 3", len(topics))
+	}
+	if topics[0].ID != 0 || topics[0].Period != 50*time.Millisecond || topics[0].Retention != 2 {
+		t.Errorf("topic 0 = %+v", topics[0])
+	}
+	if topics[2].LossTolerance != LossUnbounded {
+		t.Errorf("inf loss tolerance = %d", topics[2].LossTolerance)
+	}
+	if topics[2].Destination != DestCloud {
+		t.Errorf("destination = %v", topics[2].Destination)
+	}
+	if topics[2].Deadline != 500*time.Millisecond+500*time.Microsecond {
+		t.Errorf("fractional deadline = %v", topics[2].Deadline)
+	}
+}
+
+func TestParseTopicsErrors(t *testing.T) {
+	tests := []struct {
+		name, input string
+	}{
+		{"empty", ""},
+		{"wrong fields", "1, 2, 3\n"},
+		{"bad id", "x, 50, 50, 0, 2, edge\n"},
+		{"bad period", "1, zz, 50, 0, 2, edge\n"},
+		{"bad deadline", "1, 50, zz, 0, 2, edge\n"},
+		{"bad loss", "1, 50, 50, maybe, 2, edge\n"},
+		{"bad retention", "1, 50, 50, 0, x, edge\n"},
+		{"bad destination", "1, 50, 50, 0, 2, mars\n"},
+		{"negative loss", "1, 50, 50, -1, 2, edge\n"},
+		{"zero period", "1, 0, 50, 0, 2, edge\n"},
+		{"duplicate id", "1, 50, 50, 0, 2, edge\n1, 50, 50, 0, 2, edge\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseTopics(strings.NewReader(tc.input)); err == nil {
+				t.Error("accepted invalid input")
+			}
+		})
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	var topics []Topic
+	for i, c := range Table2() {
+		topics = append(topics, c.Stamp(TopicID(i), PayloadSize))
+	}
+	text := FormatTopics(topics)
+	parsed, err := ParseTopics(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("%v\ninput:\n%s", err, text)
+	}
+	if len(parsed) != len(topics) {
+		t.Fatalf("round trip lost topics: %d vs %d", len(parsed), len(topics))
+	}
+	for i := range topics {
+		want := topics[i]
+		want.Category = -1 // category is not part of the file format
+		if parsed[i] != want {
+			t.Errorf("topic %d: %+v != %+v", i, parsed[i], want)
+		}
+	}
+}

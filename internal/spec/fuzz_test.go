@@ -1,0 +1,38 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTopics checks that the topic-file parser never panics and that
+// everything it accepts survives a format→parse round trip.
+func FuzzParseTopics(f *testing.F) {
+	f.Add("0, 50, 50, 0, 2, edge\n")
+	f.Add("1, 50, 50, 3, 0, edge\n5, 500, 500.5, inf, 1, cloud\n")
+	f.Add("# comment only\n")
+	f.Add("1, 50\n")
+	f.Add("1, -50, 50, 0, 2, edge\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		topics, err := ParseTopics(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		text := FormatTopics(topics)
+		again, err := ParseTopics(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\n%s", err, text)
+		}
+		if len(again) != len(topics) {
+			t.Fatalf("round trip changed topic count: %d vs %d", len(again), len(topics))
+		}
+		for i := range topics {
+			a, b := topics[i], again[i]
+			if a.ID != b.ID || a.LossTolerance != b.LossTolerance ||
+				a.Retention != b.Retention || a.Destination != b.Destination {
+				t.Fatalf("round trip changed topic %d: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,214 @@
+// Package spec defines topic specifications and the evaluation workloads of
+// the FRAME paper (§III, Table 2, §VI).
+//
+// A topic couples a sporadic traffic description (minimum inter-creation
+// time Ti) with a quality-of-service contract: an end-to-end soft deadline
+// Di, a loss-tolerance level Li (the subscriber tolerates at most Li
+// consecutive message losses), and a publisher retention depth Ni (the
+// publisher retains the Ni latest messages for re-send on fail-over).
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Destination says where a topic's subscribers live relative to the broker.
+// Edge subscribers sit in close proximity (sub-millisecond latency); cloud
+// subscribers sit across a WAN link (tens of milliseconds).
+type Destination int
+
+// Destinations, in paper order (Table 2, last column).
+const (
+	DestEdge Destination = iota + 1
+	DestCloud
+)
+
+// String returns the Table 2 label for the destination.
+func (d Destination) String() string {
+	switch d {
+	case DestEdge:
+		return "Edge"
+	case DestCloud:
+		return "Cloud"
+	default:
+		return fmt.Sprintf("Destination(%d)", int(d))
+	}
+}
+
+// LossUnbounded is the Li value meaning best-effort delivery: subscribers
+// tolerate any number of consecutive losses (Table 2's "∞").
+const LossUnbounded = math.MaxInt32
+
+// TopicID identifies a topic within a deployment.
+type TopicID uint32
+
+// Topic is the per-topic specification.
+type Topic struct {
+	ID TopicID
+	// Category is the Table 2 category index (0–5) this topic belongs to,
+	// or -1 for topics outside the paper's evaluation set.
+	Category int
+	// Period is Ti, the minimum inter-creation time of messages.
+	Period time.Duration
+	// Deadline is Di, the end-to-end soft latency bound publisher→subscriber.
+	Deadline time.Duration
+	// LossTolerance is Li: the max acceptable number of consecutive losses.
+	// Use LossUnbounded for best-effort topics.
+	LossTolerance int
+	// Retention is Ni: how many of its latest messages the publisher retains.
+	Retention int
+	// Destination locates the subscriber(s).
+	Destination Destination
+	// PayloadSize is the message payload size in bytes (16 in the paper).
+	PayloadSize int
+}
+
+// Validate checks the specification for internal consistency.
+func (t Topic) Validate() error {
+	switch {
+	case t.Period <= 0:
+		return fmt.Errorf("topic %d: period %v must be positive", t.ID, t.Period)
+	case t.Deadline <= 0:
+		return fmt.Errorf("topic %d: deadline %v must be positive", t.ID, t.Deadline)
+	case t.LossTolerance < 0:
+		return fmt.Errorf("topic %d: loss tolerance %d must be non-negative", t.ID, t.LossTolerance)
+	case t.Retention < 0:
+		return fmt.Errorf("topic %d: retention %d must be non-negative", t.ID, t.Retention)
+	case t.Destination != DestEdge && t.Destination != DestCloud:
+		return fmt.Errorf("topic %d: unknown destination %d", t.ID, int(t.Destination))
+	case t.PayloadSize < 0:
+		return fmt.Errorf("topic %d: payload size %d must be non-negative", t.ID, t.PayloadSize)
+	}
+	return nil
+}
+
+// BestEffort reports whether the topic only asks for best-effort delivery
+// (Li = ∞), in which case it never needs replication or retention.
+func (t Topic) BestEffort() bool { return t.LossTolerance >= LossUnbounded }
+
+// Category is one row of Table 2: a template from which topics are stamped.
+type Category struct {
+	Index         int
+	Period        time.Duration
+	Deadline      time.Duration
+	LossTolerance int
+	Retention     int
+	Destination   Destination
+}
+
+// Table2 returns the paper's six example topic categories. Timing values are
+// in milliseconds in the paper; Retention is the minimum Ni that keeps the
+// replication deadline non-negative (Table 2, fifth column).
+func Table2() []Category {
+	return []Category{
+		{Index: 0, Period: 50 * time.Millisecond, Deadline: 50 * time.Millisecond, LossTolerance: 0, Retention: 2, Destination: DestEdge},
+		{Index: 1, Period: 50 * time.Millisecond, Deadline: 50 * time.Millisecond, LossTolerance: 3, Retention: 0, Destination: DestEdge},
+		{Index: 2, Period: 100 * time.Millisecond, Deadline: 100 * time.Millisecond, LossTolerance: 0, Retention: 1, Destination: DestEdge},
+		{Index: 3, Period: 100 * time.Millisecond, Deadline: 100 * time.Millisecond, LossTolerance: 3, Retention: 0, Destination: DestEdge},
+		{Index: 4, Period: 100 * time.Millisecond, Deadline: 100 * time.Millisecond, LossTolerance: LossUnbounded, Retention: 0, Destination: DestEdge},
+		{Index: 5, Period: 500 * time.Millisecond, Deadline: 500 * time.Millisecond, LossTolerance: 0, Retention: 1, Destination: DestCloud},
+	}
+}
+
+// Stamp instantiates a topic from the category template.
+func (c Category) Stamp(id TopicID, payload int) Topic {
+	return Topic{
+		ID:            id,
+		Category:      c.Index,
+		Period:        c.Period,
+		Deadline:      c.Deadline,
+		LossTolerance: c.LossTolerance,
+		Retention:     c.Retention,
+		Destination:   c.Destination,
+		PayloadSize:   payload,
+	}
+}
+
+// PayloadSize is the paper's per-message payload (16 bytes, §VI).
+const PayloadSize = 16
+
+// Publisher grouping in the evaluation (§VI): publishers are proxies that
+// batch one message per topic they own.
+const (
+	// TopicsPerFastProxy is the proxy fan-in for categories 0 and 1.
+	TopicsPerFastProxy = 10
+	// TopicsPerSensorProxy is the proxy fan-in for categories 2–4.
+	TopicsPerSensorProxy = 50
+)
+
+// Workload is an instantiated evaluation topic set.
+type Workload struct {
+	// TotalTopics is the headline size (1525, 4525, ... in the paper).
+	TotalTopics int
+	// Topics holds one entry per topic, categories in ascending order.
+	Topics []Topic
+	// CategoryCount[c] is the number of topics in category c.
+	CategoryCount [6]int
+}
+
+// Paper workload sizes (§VI): "a total of 1525, 4525, 7525, 10525, and
+// 13525 topics".
+var WorkloadSizes = []int{1525, 4525, 7525, 10525, 13525}
+
+// ErrWorkloadShape reports an unconstructible workload.
+var ErrWorkloadShape = errors.New("spec: workload shape")
+
+// NewWorkload builds the paper's topic set for the given total:
+// ten topics each in categories 0 and 1, five topics in category 5, and the
+// remainder split evenly across categories 2–4 (§VI: workload is scaled by
+// increasing the number of topics in categories 2–4).
+func NewWorkload(totalTopics int) (*Workload, error) {
+	const fixed = 10 + 10 + 5
+	if totalTopics < fixed {
+		return nil, fmt.Errorf("%w: total %d below fixed minimum %d", ErrWorkloadShape, totalTopics, fixed)
+	}
+	variable := totalTopics - fixed
+	if variable%3 != 0 {
+		return nil, fmt.Errorf("%w: %d variable topics not divisible across categories 2-4", ErrWorkloadShape, variable)
+	}
+	perMid := variable / 3
+	counts := [6]int{10, 10, perMid, perMid, perMid, 5}
+	cats := Table2()
+	w := &Workload{TotalTopics: totalTopics, CategoryCount: counts}
+	w.Topics = make([]Topic, 0, totalTopics)
+	var id TopicID
+	for c, n := range counts {
+		for i := 0; i < n; i++ {
+			w.Topics = append(w.Topics, cats[c].Stamp(id, PayloadSize))
+			id++
+		}
+	}
+	return w, nil
+}
+
+// BoostRetention returns a copy of the workload with Ni increased by delta
+// for the given categories. This models the paper's FRAME+ configuration
+// (§VI: "we set Ni = 2 for categories 2 and 5").
+func (w *Workload) BoostRetention(delta int, categories ...int) *Workload {
+	boost := make(map[int]bool, len(categories))
+	for _, c := range categories {
+		boost[c] = true
+	}
+	out := &Workload{TotalTopics: w.TotalTopics, CategoryCount: w.CategoryCount}
+	out.Topics = make([]Topic, len(w.Topics))
+	copy(out.Topics, w.Topics)
+	for i := range out.Topics {
+		if boost[out.Topics[i].Category] {
+			out.Topics[i].Retention += delta
+		}
+	}
+	return out
+}
+
+// MessageRate returns the aggregate steady-state message arrival rate of the
+// workload in messages per second.
+func (w *Workload) MessageRate() float64 {
+	var rate float64
+	for _, t := range w.Topics {
+		rate += float64(time.Second) / float64(t.Period)
+	}
+	return rate
+}

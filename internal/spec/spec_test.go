@@ -1,0 +1,172 @@
+package spec
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTable2MatchesPaper(t *testing.T) {
+	cats := Table2()
+	if len(cats) != 6 {
+		t.Fatalf("Table2 has %d categories, want 6", len(cats))
+	}
+	tests := []struct {
+		idx  int
+		ti   time.Duration
+		di   time.Duration
+		li   int
+		ni   int
+		dest Destination
+	}{
+		{0, 50 * time.Millisecond, 50 * time.Millisecond, 0, 2, DestEdge},
+		{1, 50 * time.Millisecond, 50 * time.Millisecond, 3, 0, DestEdge},
+		{2, 100 * time.Millisecond, 100 * time.Millisecond, 0, 1, DestEdge},
+		{3, 100 * time.Millisecond, 100 * time.Millisecond, 3, 0, DestEdge},
+		{4, 100 * time.Millisecond, 100 * time.Millisecond, LossUnbounded, 0, DestEdge},
+		{5, 500 * time.Millisecond, 500 * time.Millisecond, 0, 1, DestCloud},
+	}
+	for _, tc := range tests {
+		c := cats[tc.idx]
+		if c.Index != tc.idx || c.Period != tc.ti || c.Deadline != tc.di ||
+			c.LossTolerance != tc.li || c.Retention != tc.ni || c.Destination != tc.dest {
+			t.Errorf("category %d = %+v, want {Ti:%v Di:%v Li:%d Ni:%d %v}",
+				tc.idx, c, tc.ti, tc.di, tc.li, tc.ni, tc.dest)
+		}
+	}
+}
+
+func TestStampAndValidate(t *testing.T) {
+	top := Table2()[0].Stamp(7, PayloadSize)
+	if err := top.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if top.ID != 7 || top.Category != 0 || top.PayloadSize != 16 {
+		t.Errorf("stamped topic = %+v", top)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := Table2()[0].Stamp(1, 16)
+	tests := []struct {
+		name   string
+		mutate func(*Topic)
+	}{
+		{"zero period", func(x *Topic) { x.Period = 0 }},
+		{"negative deadline", func(x *Topic) { x.Deadline = -time.Second }},
+		{"negative loss tolerance", func(x *Topic) { x.LossTolerance = -1 }},
+		{"negative retention", func(x *Topic) { x.Retention = -2 }},
+		{"bad destination", func(x *Topic) { x.Destination = 0 }},
+		{"negative payload", func(x *Topic) { x.PayloadSize = -1 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			top := base
+			tc.mutate(&top)
+			if err := top.Validate(); err == nil {
+				t.Errorf("Validate accepted %+v", top)
+			}
+		})
+	}
+}
+
+func TestBestEffort(t *testing.T) {
+	if !Table2()[4].Stamp(0, 16).BestEffort() {
+		t.Error("category 4 should be best-effort")
+	}
+	if Table2()[0].Stamp(0, 16).BestEffort() {
+		t.Error("category 0 should not be best-effort")
+	}
+}
+
+func TestNewWorkloadPaperSizes(t *testing.T) {
+	for _, total := range WorkloadSizes {
+		w, err := NewWorkload(total)
+		if err != nil {
+			t.Fatalf("NewWorkload(%d): %v", total, err)
+		}
+		if len(w.Topics) != total {
+			t.Errorf("NewWorkload(%d) produced %d topics", total, len(w.Topics))
+		}
+		if w.CategoryCount[0] != 10 || w.CategoryCount[1] != 10 || w.CategoryCount[5] != 5 {
+			t.Errorf("fixed category counts = %v", w.CategoryCount)
+		}
+		perMid := (total - 25) / 3
+		for c := 2; c <= 4; c++ {
+			if w.CategoryCount[c] != perMid {
+				t.Errorf("category %d count = %d, want %d", c, w.CategoryCount[c], perMid)
+			}
+		}
+		// Topic IDs are dense and categories ascend.
+		for i, top := range w.Topics {
+			if top.ID != TopicID(i) {
+				t.Fatalf("topic %d has ID %d", i, top.ID)
+			}
+			if i > 0 && top.Category < w.Topics[i-1].Category {
+				t.Fatalf("categories not ascending at %d", i)
+			}
+			if err := top.Validate(); err != nil {
+				t.Fatalf("topic %d invalid: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestNewWorkloadRejectsBadShapes(t *testing.T) {
+	if _, err := NewWorkload(10); !errors.Is(err, ErrWorkloadShape) {
+		t.Errorf("NewWorkload(10) err = %v, want ErrWorkloadShape", err)
+	}
+	if _, err := NewWorkload(27); !errors.Is(err, ErrWorkloadShape) {
+		t.Errorf("NewWorkload(27) err = %v, want ErrWorkloadShape", err)
+	}
+}
+
+func TestBoostRetention(t *testing.T) {
+	w, err := NewWorkload(1525)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plus := w.BoostRetention(1, 2, 5)
+	var checked int
+	for i, top := range plus.Topics {
+		orig := w.Topics[i]
+		wantBoost := top.Category == 2 || top.Category == 5
+		delta := top.Retention - orig.Retention
+		if wantBoost && delta != 1 {
+			t.Fatalf("topic %d cat %d: retention delta %d, want 1", i, top.Category, delta)
+		}
+		if !wantBoost && delta != 0 {
+			t.Fatalf("topic %d cat %d: retention delta %d, want 0", i, top.Category, delta)
+		}
+		checked++
+	}
+	if checked != 1525 {
+		t.Errorf("checked %d topics", checked)
+	}
+	// Original untouched.
+	if w.Topics[20].Category != 2 || w.Topics[20].Retention != 1 {
+		t.Errorf("original workload mutated: %+v", w.Topics[20])
+	}
+}
+
+func TestMessageRate(t *testing.T) {
+	w, err := NewWorkload(7525)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 topics @20/s + 7500 @10/s + 5 @2/s = 400 + 75000 + 10.
+	want := 75410.0
+	if got := w.MessageRate(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("MessageRate = %v, want %v", got, want)
+	}
+}
+
+func TestDestinationString(t *testing.T) {
+	if DestEdge.String() != "Edge" || DestCloud.String() != "Cloud" {
+		t.Error("destination labels wrong")
+	}
+	if Destination(9).String() != "Destination(9)" {
+		t.Errorf("unknown destination label = %q", Destination(9).String())
+	}
+}

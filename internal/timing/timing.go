@@ -1,0 +1,193 @@
+// Package timing implements the FRAME paper's timing model (§III): the
+// sufficient relative deadlines for replication (Lemma 1) and dispatch
+// (Lemma 2), the selective-replication condition (Proposition 1), and the
+// admission test derived from them (§III-D-1).
+//
+// Deadlines exist in two forms, mirroring the implementation (§IV-A):
+//
+//   - Pseudo relative deadlines Dr' and Dd', computed once at configuration
+//     time from everything except ΔPB:
+//     Dr' = (Ni+Li)·Ti − ΔBB − x   and   Dd' = Di − ΔBS.
+//   - Effective relative deadlines Dr and Dd, obtained per message arrival
+//     by subtracting the observed publisher→broker latency ΔPB.
+//
+// All arithmetic is in time.Duration. A best-effort topic (Li = ∞) has an
+// effectively infinite replication deadline, represented by NoDeadline.
+package timing
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// NoDeadline represents an unbounded (infinitely late) deadline, used for
+// the replication deadline of best-effort topics.
+const NoDeadline = time.Duration(1<<63 - 1)
+
+// Params carries the deployment-level timing parameters of the model
+// (§III-A, §III-B). All are non-negative durations.
+type Params struct {
+	// DeltaPB is the publisher→Primary one-way latency ΔPB. In the pseudo
+	// deadline computation it is zero; per-arrival it is observed.
+	DeltaPB time.Duration
+	// DeltaBSEdge is the broker→subscriber latency ΔBS for edge subscribers.
+	DeltaBSEdge time.Duration
+	// DeltaBSCloud is ΔBS for cloud subscribers. The paper recommends a
+	// measured lower bound so that selective replication stays safe under
+	// cloud-latency variation (§III-D-5).
+	DeltaBSCloud time.Duration
+	// DeltaBB is the Primary→Backup latency ΔBB.
+	DeltaBB time.Duration
+	// Failover is x: from Primary crash until the publisher has redirected
+	// its traffic to the Backup.
+	Failover time.Duration
+}
+
+// Validate rejects negative parameters.
+func (p Params) Validate() error {
+	for _, f := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"DeltaPB", p.DeltaPB},
+		{"DeltaBSEdge", p.DeltaBSEdge},
+		{"DeltaBSCloud", p.DeltaBSCloud},
+		{"DeltaBB", p.DeltaBB},
+		{"Failover", p.Failover},
+	} {
+		if f.d < 0 {
+			return fmt.Errorf("timing: %s = %v must be non-negative", f.name, f.d)
+		}
+	}
+	return nil
+}
+
+// PaperParams returns the parameter values the paper uses in its §III-D
+// worked example: ΔBS = 1 ms within the edge and 20 ms to the cloud,
+// ΔBB = 0.05 ms, x = 50 ms.
+func PaperParams() Params {
+	return Params{
+		DeltaBSEdge:  1 * time.Millisecond,
+		DeltaBSCloud: 20 * time.Millisecond,
+		DeltaBB:      50 * time.Microsecond,
+		Failover:     50 * time.Millisecond,
+	}
+}
+
+// DeltaBS returns the broker→subscriber latency for the topic's destination.
+func (p Params) DeltaBS(dest spec.Destination) time.Duration {
+	if dest == spec.DestCloud {
+		return p.DeltaBSCloud
+	}
+	return p.DeltaBSEdge
+}
+
+// ReplicationPseudoDeadline returns Dr' = (Ni+Li)·Ti − ΔBB − x, the
+// configuration-time replication deadline of Lemma 1 before subtracting the
+// per-arrival ΔPB. Best-effort topics return NoDeadline.
+func ReplicationPseudoDeadline(t spec.Topic, p Params) time.Duration {
+	if t.BestEffort() {
+		return NoDeadline
+	}
+	horizon := mulDuration(t.Period, t.Retention+t.LossTolerance)
+	return horizon - p.DeltaBB - p.Failover
+}
+
+// DispatchPseudoDeadline returns Dd' = Di − ΔBS for the topic's destination
+// (Lemma 2 before subtracting the per-arrival ΔPB).
+func DispatchPseudoDeadline(t spec.Topic, p Params) time.Duration {
+	return t.Deadline - p.DeltaBS(t.Destination)
+}
+
+// ReplicationDeadline returns the full Lemma 1 bound
+// Dr = (Ni+Li)·Ti − ΔPB − ΔBB − x using p.DeltaPB.
+func ReplicationDeadline(t spec.Topic, p Params) time.Duration {
+	d := ReplicationPseudoDeadline(t, p)
+	if d == NoDeadline {
+		return NoDeadline
+	}
+	return d - p.DeltaPB
+}
+
+// DispatchDeadline returns the full Lemma 2 bound Dd = Di − ΔPB − ΔBS.
+func DispatchDeadline(t spec.Topic, p Params) time.Duration {
+	return DispatchPseudoDeadline(t, p) - p.DeltaPB
+}
+
+// NeedsReplication applies Proposition 1: replication of a topic may be
+// suppressed when the system meets the dispatch deadline and Dd ≤ Dr;
+// equivalently, replication is needed iff
+//
+//	x + ΔBB − ΔBS > (Ni+Li)·Ti − Di.
+//
+// Best-effort topics never need replication.
+func NeedsReplication(t spec.Topic, p Params) bool {
+	if t.BestEffort() {
+		return false
+	}
+	lhs := p.Failover + p.DeltaBB - p.DeltaBS(t.Destination)
+	rhs := mulDuration(t.Period, t.Retention+t.LossTolerance) - t.Deadline
+	return lhs > rhs
+}
+
+// Admissible reports the §III-D-1 admission test: both Dr ≥ 0 and Dd ≥ 0
+// must hold. A topic that fails admission cannot have its loss-tolerance or
+// latency contract honored under the model, no matter the schedule.
+func Admissible(t spec.Topic, p Params) error {
+	if dd := DispatchDeadline(t, p); dd < 0 {
+		return fmt.Errorf("timing: topic %d inadmissible: dispatch deadline %v < 0 (Di=%v too tight for ΔPB+ΔBS)", t.ID, dd, t.Deadline)
+	}
+	if dr := ReplicationDeadline(t, p); dr != NoDeadline && dr < 0 {
+		return fmt.Errorf("timing: topic %d inadmissible: replication deadline %v < 0 (increase Ni or Li)", t.ID, dr)
+	}
+	return nil
+}
+
+// MinRetention returns the smallest Ni that makes the topic admissible
+// (Dr ≥ 0) given its Li, Ti and the parameters, as listed in Table 2's
+// fifth column. Best-effort topics need no retention.
+func MinRetention(t spec.Topic, p Params) int {
+	if t.BestEffort() {
+		return 0
+	}
+	need := p.DeltaPB + p.DeltaBB + p.Failover
+	// Smallest Ni with (Ni+Li)·Ti ≥ need.
+	k := int((need + t.Period - 1) / t.Period) // ceil(need/Ti)
+	ni := k - t.LossTolerance
+	if ni < 0 {
+		ni = 0
+	}
+	return ni
+}
+
+// Bounds couples both effective relative deadlines of a topic.
+type Bounds struct {
+	Dispatch    time.Duration
+	Replication time.Duration
+	// Replicate is the Proposition 1 verdict: false means replication can be
+	// suppressed without violating the loss-tolerance contract.
+	Replicate bool
+}
+
+// Compute returns the per-topic bounds for the given parameters.
+func Compute(t spec.Topic, p Params) Bounds {
+	return Bounds{
+		Dispatch:    DispatchDeadline(t, p),
+		Replication: ReplicationDeadline(t, p),
+		Replicate:   NeedsReplication(t, p),
+	}
+}
+
+// mulDuration multiplies a duration by a possibly huge count, saturating at
+// NoDeadline instead of overflowing (Li = LossUnbounded would overflow).
+func mulDuration(d time.Duration, n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if d > 0 && time.Duration(n) > NoDeadline/d {
+		return NoDeadline
+	}
+	return d * time.Duration(n)
+}

@@ -1,0 +1,344 @@
+package timing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/spec"
+)
+
+func ms(f float64) time.Duration { return time.Duration(f * float64(time.Millisecond)) }
+
+func paperTopics() []spec.Topic {
+	cats := spec.Table2()
+	tops := make([]spec.Topic, len(cats))
+	for i, c := range cats {
+		tops[i] = c.Stamp(spec.TopicID(i), spec.PayloadSize)
+	}
+	return tops
+}
+
+func TestPaperDeadlineValues(t *testing.T) {
+	p := PaperParams()
+	tops := paperTopics()
+	tests := []struct {
+		cat int
+		dd  time.Duration
+		dr  time.Duration
+	}{
+		{0, ms(49), ms(49.95)},
+		{1, ms(49), ms(99.95)},
+		{2, ms(99), ms(49.95)},
+		{3, ms(99), ms(249.95)},
+		{4, ms(99), NoDeadline},
+		{5, ms(480), ms(449.95)},
+	}
+	for _, tc := range tests {
+		if got := DispatchDeadline(tops[tc.cat], p); got != tc.dd {
+			t.Errorf("cat %d: Dd = %v, want %v", tc.cat, got, tc.dd)
+		}
+		if got := ReplicationDeadline(tops[tc.cat], p); got != tc.dr {
+			t.Errorf("cat %d: Dr = %v, want %v", tc.cat, got, tc.dr)
+		}
+	}
+}
+
+// TestPaperDeadlineOrdering reproduces the §III-D-2 worked example:
+// Dd0 = Dd1 < Dr0 = Dr2 < Dd2 = Dd3 = Dd4 < Dr1 < Dr3 < Dr5 < Dd5.
+func TestPaperDeadlineOrdering(t *testing.T) {
+	p := PaperParams()
+	tops := paperTopics()
+	dd := func(c int) time.Duration { return DispatchDeadline(tops[c], p) }
+	dr := func(c int) time.Duration { return ReplicationDeadline(tops[c], p) }
+
+	if dd(0) != dd(1) {
+		t.Errorf("Dd0 %v != Dd1 %v", dd(0), dd(1))
+	}
+	if dr(0) != dr(2) {
+		t.Errorf("Dr0 %v != Dr2 %v", dr(0), dr(2))
+	}
+	if dd(2) != dd(3) || dd(3) != dd(4) {
+		t.Errorf("Dd2..4 not equal: %v %v %v", dd(2), dd(3), dd(4))
+	}
+	chain := []time.Duration{dd(0), dr(0), dd(2), dr(1), dr(3), dr(5), dd(5)}
+	for i := 1; i < len(chain); i++ {
+		if chain[i-1] >= chain[i] {
+			t.Errorf("ordering violated at link %d: %v >= %v", i, chain[i-1], chain[i])
+		}
+	}
+}
+
+// TestPaperSelectiveReplication reproduces §III-D-2's verdicts: replication
+// can be removed for categories 0, 1, and 3 (and 4 is best-effort), and is
+// needed only for categories 2 and 5.
+func TestPaperSelectiveReplication(t *testing.T) {
+	p := PaperParams()
+	want := map[int]bool{0: false, 1: false, 2: true, 3: false, 4: false, 5: true}
+	for _, top := range paperTopics() {
+		if got := NeedsReplication(top, p); got != want[top.Category] {
+			t.Errorf("category %d: NeedsReplication = %v, want %v", top.Category, got, want[top.Category])
+		}
+	}
+}
+
+// TestRetentionBoostRemovesReplication reproduces §III-D-3: raising Ni by
+// one for categories 2 and 5 removes their replication need too (FRAME+).
+func TestRetentionBoostRemovesReplication(t *testing.T) {
+	p := PaperParams()
+	for _, cat := range []int{2, 5} {
+		top := spec.Table2()[cat].Stamp(0, 16)
+		top.Retention++
+		if NeedsReplication(top, p) {
+			t.Errorf("category %d with Ni+1 still needs replication", cat)
+		}
+		// And dispatch gains precedence: Dd < Dr.
+		if dd, dr := DispatchDeadline(top, p), ReplicationDeadline(top, p); dd >= dr {
+			t.Errorf("category %d with Ni+1: Dd %v >= Dr %v", cat, dd, dr)
+		}
+	}
+}
+
+func TestMinRetentionMatchesTable2(t *testing.T) {
+	p := PaperParams()
+	want := []int{2, 0, 1, 0, 0, 1}
+	for i, top := range paperTopics() {
+		if got := MinRetention(top, p); got != want[i] {
+			t.Errorf("category %d: MinRetention = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestAdmissible(t *testing.T) {
+	p := PaperParams()
+	for _, top := range paperTopics() {
+		if err := Admissible(top, p); err != nil {
+			t.Errorf("category %d inadmissible: %v", top.Category, err)
+		}
+	}
+	// Zero retention with Li=0 is inadmissible: a crash right after arrival
+	// loses the message (§III-D-1).
+	top := spec.Table2()[0].Stamp(0, 16)
+	top.Retention = 0
+	if err := Admissible(top, p); err == nil {
+		t.Error("cat 0 with Ni=0 admitted; want rejection")
+	}
+	// A deadline tighter than the network latency is inadmissible.
+	top = spec.Table2()[5].Stamp(0, 16)
+	top.Deadline = 10 * time.Millisecond // < ΔBS cloud of 20ms
+	if err := Admissible(top, p); err == nil {
+		t.Error("cloud topic with 10ms deadline admitted; want rejection")
+	}
+}
+
+func TestRareCriticalMessages(t *testing.T) {
+	// §III-D-4, case Di < Ti: rare but time-critical messages modeled with
+	// huge Ti, Li=0, Ni>0 — no replication needed if delivery is in time.
+	p := PaperParams()
+	top := spec.Topic{
+		ID: 1, Category: -1, Period: time.Hour, Deadline: 50 * time.Millisecond,
+		LossTolerance: 0, Retention: 1, Destination: spec.DestEdge, PayloadSize: 16,
+	}
+	if NeedsReplication(top, p) {
+		t.Error("rare critical topic should not need replication")
+	}
+	// §III-D-4, case Di > Ti (streaming): replication likely needed unless
+	// ΔBS is small. With a cloud destination it is needed.
+	stream := spec.Topic{
+		ID: 2, Category: -1, Period: 10 * time.Millisecond, Deadline: 40 * time.Millisecond,
+		LossTolerance: 0, Retention: 5, Destination: spec.DestCloud, PayloadSize: 16,
+	}
+	if !NeedsReplication(stream, p) {
+		t.Error("streaming topic to cloud should need replication")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := PaperParams().Validate(); err != nil {
+		t.Errorf("paper params invalid: %v", err)
+	}
+	bad := PaperParams()
+	bad.Failover = -time.Second
+	if err := bad.Validate(); err == nil {
+		t.Error("negative failover accepted")
+	}
+}
+
+func TestDeltaPBShiftsDeadlines(t *testing.T) {
+	p := PaperParams()
+	top := paperTopics()[0]
+	base := Compute(top, p)
+	p.DeltaPB = 3 * time.Millisecond
+	shifted := Compute(top, p)
+	if shifted.Dispatch != base.Dispatch-3*time.Millisecond {
+		t.Errorf("dispatch deadline shift: %v -> %v", base.Dispatch, shifted.Dispatch)
+	}
+	if shifted.Replication != base.Replication-3*time.Millisecond {
+		t.Errorf("replication deadline shift: %v -> %v", base.Replication, shifted.Replication)
+	}
+}
+
+func TestBestEffortNoDeadlineUnaffectedByDeltaPB(t *testing.T) {
+	p := PaperParams()
+	p.DeltaPB = time.Second
+	top := paperTopics()[4]
+	if got := ReplicationDeadline(top, p); got != NoDeadline {
+		t.Errorf("best-effort Dr = %v, want NoDeadline", got)
+	}
+}
+
+func TestMulDurationSaturates(t *testing.T) {
+	if got := mulDuration(time.Hour, 1<<40); got != NoDeadline {
+		t.Errorf("overflowing product = %v, want NoDeadline", got)
+	}
+	if got := mulDuration(time.Second, 0); got != 0 {
+		t.Errorf("zero count product = %v, want 0", got)
+	}
+}
+
+// lemma1Model simulates the crash scenario of Lemma 1's proof: messages of a
+// topic are created every Ti; each message's replica reaches the Backup
+// Rr+ΔPB+ΔBB after creation; the Primary crashes at crashAt. The publisher
+// detects the crash x later and re-sends its Ni retained messages (and all
+// messages created after detection flow to the Backup directly). It returns
+// the maximum run of consecutive lost messages.
+func lemma1Model(ti, deltaPB, deltaBB, x time.Duration, ni int, rr []time.Duration, crashAt time.Duration) int {
+	n := len(rr)
+	lost := make([]bool, n)
+	detect := crashAt + x
+	// Index of the newest message created strictly before detection.
+	for j := 0; j < n; j++ {
+		created := time.Duration(j) * ti
+		arrivedPrimary := created + deltaPB
+		if created >= detect {
+			continue // sent to Backup directly: safe
+		}
+		replicaAtBackup := arrivedPrimary + rr[j] + deltaBB
+		lost[j] = replicaAtBackup > crashAt // replica reached the Backup in time?
+	}
+	// Publisher retention: the Ni newest messages created before detection
+	// are re-sent and therefore recovered.
+	newest := -1
+	for j := 0; j < n; j++ {
+		if time.Duration(j)*ti < detect {
+			newest = j
+		}
+	}
+	for k := 0; k < ni && newest-k >= 0; k++ {
+		lost[newest-k] = false
+	}
+	maxRun, run := 0, 0
+	for j := 0; j < n; j++ {
+		if lost[j] {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	return maxRun
+}
+
+// TestLemma1Property empirically validates Lemma 1: for random admissible
+// parameter sets, if every replication job finishes within
+// Dr = (Ni+Li)·Ti − ΔPB − ΔBB − x, then no crash time yields more than Li
+// consecutive losses.
+func TestLemma1Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ti := time.Duration(rng.Intn(90)+10) * time.Millisecond
+		deltaPB := time.Duration(rng.Intn(3)) * time.Millisecond
+		deltaBB := time.Duration(rng.Intn(2)) * time.Millisecond
+		x := time.Duration(rng.Intn(60)+1) * time.Millisecond
+		li := rng.Intn(4)
+		ni := rng.Intn(4)
+		top := spec.Topic{
+			ID: 0, Period: ti, Deadline: ti, LossTolerance: li, Retention: ni,
+			Destination: spec.DestEdge, PayloadSize: 16,
+		}
+		p := Params{DeltaPB: deltaPB, DeltaBB: deltaBB, Failover: x}
+		dr := ReplicationDeadline(top, p)
+		if dr < 0 {
+			return true // inadmissible: Lemma 1 makes no promise
+		}
+		const n = 40
+		rr := make([]time.Duration, n)
+		for j := range rr {
+			rr[j] = time.Duration(rng.Int63n(int64(dr) + 1))
+		}
+		// Sweep crash times across several periods at fine grain.
+		horizon := time.Duration(n) * ti
+		for crash := time.Duration(0); crash < horizon; crash += ti / 7 {
+			if got := lemma1Model(ti, deltaPB, deltaBB, x, ni, rr, crash); got > li {
+				t.Logf("seed %d: %d consecutive losses > Li=%d at crash %v (Ti=%v Ni=%d x=%v)",
+					seed, got, li, crash, ti, ni, x)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma1Tightness shows the bound is not vacuous: violating Dr by a few
+// periods admits crash times that exceed Li consecutive losses.
+func TestLemma1Tightness(t *testing.T) {
+	ti := 50 * time.Millisecond
+	p := Params{Failover: 50 * time.Millisecond}
+	top := spec.Topic{Period: ti, Deadline: ti, LossTolerance: 1, Retention: 2,
+		Destination: spec.DestEdge, PayloadSize: 16}
+	dr := ReplicationDeadline(top, p)
+	late := dr + 3*ti // every replication far too slow
+	const n = 40
+	rr := make([]time.Duration, n)
+	for j := range rr {
+		rr[j] = late
+	}
+	violated := false
+	for crash := time.Duration(0); crash < time.Duration(n)*ti; crash += ti / 7 {
+		if lemma1Model(ti, 0, 0, p.Failover, top.Retention, rr, crash) > top.LossTolerance {
+			violated = true
+			break
+		}
+	}
+	if !violated {
+		t.Error("grossly late replication never exceeded Li; model too lax")
+	}
+}
+
+// TestLemma2Property: a dispatch finishing within Dd = Di − ΔPB − ΔBS always
+// meets the end-to-end deadline, and one finishing later always misses it.
+func TestLemma2Property(t *testing.T) {
+	f := func(diMs, pbMs, bsMs uint16, slackMs int16) bool {
+		di := time.Duration(diMs%1000+1) * time.Millisecond
+		pb := time.Duration(pbMs%20) * time.Millisecond
+		bs := time.Duration(bsMs%50) * time.Millisecond
+		top := spec.Topic{Period: di, Deadline: di, Destination: spec.DestEdge, PayloadSize: 16}
+		p := Params{DeltaPB: pb, DeltaBSEdge: bs}
+		dd := DispatchDeadline(top, p)
+		if dd < 0 {
+			return true
+		}
+		rd := dd + time.Duration(slackMs)*time.Millisecond
+		if rd < 0 {
+			rd = 0
+		}
+		endToEnd := pb + rd + bs // tc→tp, tp→td, td→ts
+		meets := endToEnd <= di
+		if rd <= dd && !meets {
+			return false
+		}
+		if rd > dd && meets {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

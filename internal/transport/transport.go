@@ -1,0 +1,232 @@
+// Package transport carries wire frames across process and host boundaries.
+//
+// It layers a uint32-length-prefixed framing on top of any net.Conn and
+// abstracts the dial/listen pair behind a Network interface with two
+// implementations: TCP (the real stack, used by the cmd/ tools, examples,
+// and integration tests over loopback) and Mem (an in-process network built
+// on net.Pipe, used by unit tests and the quickstart example).
+//
+// A Conn is safe for one concurrent reader plus any number of writers:
+// writes are serialized by a mutex, matching the broker's worker-pool use
+// where many Dispatchers push frames down the same subscriber link.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// MaxFrameSize bounds a single frame on the wire; larger length prefixes
+// indicate corruption and poison the connection.
+const MaxFrameSize = 4 << 20
+
+// ErrFrameTooLarge reports a length prefix above MaxFrameSize.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrameSize")
+
+// Conn is a framed, typed connection carrying wire.Frames.
+type Conn struct {
+	nc net.Conn
+
+	writeMu sync.Mutex
+	wbuf    []byte
+
+	// read state: single reader assumed.
+	lenBuf [4]byte
+	rbuf   []byte
+}
+
+// NewConn wraps a net.Conn with frame codecs.
+func NewConn(nc net.Conn) *Conn { return &Conn{nc: nc} }
+
+// Send encodes and writes one frame. Safe for concurrent use.
+func (c *Conn) Send(f *wire.Frame) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	body, err := wire.Encode(c.wbuf[:0], f)
+	if err != nil {
+		return fmt.Errorf("transport: encode %v: %w", f.Type, err)
+	}
+	c.wbuf = body // reuse the grown buffer next time
+	if len(body) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := c.nc.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := c.nc.Write(body); err != nil {
+		return fmt.Errorf("transport: write body: %w", err)
+	}
+	return nil
+}
+
+// Recv reads one frame, blocking until a frame arrives, the deadline set via
+// SetReadDeadline expires, or the connection closes. Only one goroutine may
+// call Recv at a time.
+func (c *Conn) Recv() (*wire.Frame, error) {
+	if _, err := io.ReadFull(c.nc, c.lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("transport: read header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(c.lenBuf[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	body := c.rbuf[:n]
+	if _, err := io.ReadFull(c.nc, body); err != nil {
+		return nil, fmt.Errorf("transport: read body: %w", err)
+	}
+	f, err := wire.Decode(body)
+	if err != nil {
+		return nil, fmt.Errorf("transport: decode: %w", err)
+	}
+	return f, nil
+}
+
+// SetReadDeadline bounds the next Recv.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
+// Close closes the underlying connection; a blocked Recv returns an error.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// RemoteAddr exposes the peer address for logs.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// Network abstracts listen/dial so the same broker and client code runs over
+// TCP or fully in-process.
+type Network interface {
+	// Listen opens a listener on addr.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to addr.
+	Dial(addr string) (net.Conn, error)
+}
+
+// TCP is the real-network implementation of Network.
+type TCP struct {
+	// DialTimeout bounds Dial; zero means no timeout.
+	DialTimeout time.Duration
+}
+
+var _ Network = (*TCP)(nil)
+
+// Listen opens a TCP listener.
+func (t *TCP) Listen(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return ln, nil
+}
+
+// Dial connects over TCP with the configured timeout.
+func (t *TCP) Dial(addr string) (net.Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return nc, nil
+}
+
+// Mem is an in-process Network: listeners register under string addresses
+// and Dial produces net.Pipe pairs. A single Mem value models one isolated
+// network; tests create one per scenario.
+type Mem struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+var _ Network = (*Mem)(nil)
+
+// NewMem returns an empty in-process network.
+func NewMem() *Mem { return &Mem{listeners: make(map[string]*memListener)} }
+
+// ErrAddrInUse reports a duplicate in-process listen address.
+var ErrAddrInUse = errors.New("transport: address already in use")
+
+// ErrConnRefused reports a dial to an address nobody listens on.
+var ErrConnRefused = errors.New("transport: connection refused")
+
+// Listen registers a listener at addr.
+func (m *Mem) Listen(addr string) (net.Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.listeners[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	ln := &memListener{
+		net:    m,
+		addr:   memAddr(addr),
+		accept: make(chan net.Conn),
+		done:   make(chan struct{}),
+	}
+	m.listeners[addr] = ln
+	return ln, nil
+}
+
+// Dial connects to a registered listener.
+func (m *Mem) Dial(addr string) (net.Conn, error) {
+	m.mu.Lock()
+	ln := m.listeners[addr]
+	m.mu.Unlock()
+	if ln == nil {
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case ln.accept <- server:
+		return client, nil
+	case <-ln.done:
+		return nil, fmt.Errorf("%w: %s (closed)", ErrConnRefused, addr)
+	}
+}
+
+func (m *Mem) remove(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.listeners, addr)
+}
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }
+
+type memListener struct {
+	net    *Mem
+	addr   memAddr
+	accept chan net.Conn
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+var _ net.Listener = (*memListener)(nil)
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.net.remove(string(l.addr))
+	})
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return l.addr }

@@ -1,0 +1,336 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// pair returns two framed conns connected to each other over the given
+// network, plus a cleanup.
+func pair(t *testing.T, n Network) (*Conn, *Conn) {
+	t.Helper()
+	ln, err := n.Listen(listenAddr(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+
+	type acceptResult struct {
+		nc  net.Conn
+		err error
+	}
+	ch := make(chan acceptResult, 1)
+	go func() {
+		nc, err := ln.Accept()
+		ch <- acceptResult{nc, err}
+	}()
+	client, err := n.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-ch
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	a, b := NewConn(client), NewConn(res.nc)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func listenAddr(n Network) string {
+	if _, ok := n.(*TCP); ok {
+		return "127.0.0.1:0"
+	}
+	return "test-broker"
+}
+
+func networks(t *testing.T, fn func(t *testing.T, n Network)) {
+	t.Run("mem", func(t *testing.T) { fn(t, NewMem()) })
+	t.Run("tcp", func(t *testing.T) { fn(t, &TCP{DialTimeout: 2 * time.Second}) })
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	networks(t, func(t *testing.T, n Network) {
+		a, b := pair(t, n)
+		want := &wire.Frame{Type: wire.TypePublish, Msg: wire.Message{
+			Topic: 3, Seq: 14, Created: 15 * time.Microsecond, Payload: []byte("9265358979"),
+		}}
+		errc := make(chan error, 1)
+		go func() { errc <- a.Send(want) }()
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || got.Msg.Seq != want.Msg.Seq || string(got.Msg.Payload) != "9265358979" {
+			t.Errorf("got %+v", got)
+		}
+	})
+}
+
+func TestManyFramesInOrder(t *testing.T) {
+	networks(t, func(t *testing.T, n Network) {
+		a, b := pair(t, n)
+		const count = 500
+		errc := make(chan error, 1)
+		go func() {
+			for i := uint64(0); i < count; i++ {
+				if err := a.Send(&wire.Frame{Type: wire.TypePoll, Nonce: i}); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}()
+		for i := uint64(0); i < count; i++ {
+			f, err := b.Recv()
+			if err != nil {
+				t.Fatalf("recv %d: %v", i, err)
+			}
+			if f.Nonce != i {
+				t.Fatalf("frame %d has nonce %d", i, f.Nonce)
+			}
+		}
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	networks(t, func(t *testing.T, n Network) {
+		a, b := pair(t, n)
+		const writers, perWriter = 8, 50
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					f := &wire.Frame{Type: wire.TypePoll, Nonce: uint64(w*perWriter + i)}
+					if err := a.Send(f); err != nil {
+						t.Errorf("writer %d: %v", w, err)
+						return
+					}
+				}
+			}(w)
+		}
+		seen := make(map[uint64]bool)
+		for i := 0; i < writers*perWriter; i++ {
+			f, err := b.Recv()
+			if err != nil {
+				t.Fatalf("recv %d: %v", i, err)
+			}
+			if seen[f.Nonce] {
+				t.Fatalf("duplicate nonce %d: frame interleaving corrupted", f.Nonce)
+			}
+			seen[f.Nonce] = true
+		}
+		wg.Wait()
+	})
+}
+
+func TestRecvAfterCloseErrors(t *testing.T) {
+	networks(t, func(t *testing.T, n Network) {
+		a, b := pair(t, n)
+		if err := a.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Recv(); err == nil {
+			t.Error("Recv after peer close succeeded")
+		}
+	})
+}
+
+func TestReadDeadline(t *testing.T) {
+	// net.Pipe supports deadlines too, but TCP is the realistic case.
+	a, b := pair(t, &TCP{DialTimeout: time.Second})
+	_ = a
+	if err := b.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := b.Recv()
+	if err == nil {
+		t.Fatal("Recv returned without data before deadline")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Errorf("err = %v, want timeout", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("deadline ignored")
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	ln, err := (&TCP{}).Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer nc.Close()
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], MaxFrameSize+1)
+		_, err = nc.Write(hdr[:])
+		done <- err
+	}()
+	nc, err := (&TCP{DialTimeout: time.Second}).Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(nc)
+	defer c.Close()
+	if _, err := c.Recv(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemDuplicateListen(t *testing.T) {
+	m := NewMem()
+	ln, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := m.Listen("a"); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("err = %v, want ErrAddrInUse", err)
+	}
+}
+
+func TestMemDialUnknownAddr(t *testing.T) {
+	if _, err := NewMem().Dial("nobody"); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("err = %v, want ErrConnRefused", err)
+	}
+}
+
+func TestMemListenerCloseUnblocksAcceptAndFreesAddr(t *testing.T) {
+	m := NewMem()
+	ln, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptErr := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		acceptErr <- err
+	}()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-acceptErr:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Errorf("Accept err = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Accept did not unblock on Close")
+	}
+	// Address is reusable and dialing the dead listener refuses.
+	if _, err := m.Dial("a"); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("Dial closed = %v, want ErrConnRefused", err)
+	}
+	ln2, err := m.Listen("a")
+	if err != nil {
+		t.Fatalf("relisten: %v", err)
+	}
+	ln2.Close()
+	// Double close is fine.
+	if err := ln.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestMemIsolation(t *testing.T) {
+	m1, m2 := NewMem(), NewMem()
+	ln, err := m1.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := m2.Dial("x"); !errors.Is(err, ErrConnRefused) {
+		t.Error("networks not isolated")
+	}
+}
+
+func TestMemAddr(t *testing.T) {
+	m := NewMem()
+	ln, err := m.Listen("broker-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if ln.Addr().Network() != "mem" || ln.Addr().String() != "broker-1" {
+		t.Errorf("addr = %v/%v", ln.Addr().Network(), ln.Addr().String())
+	}
+}
+
+func BenchmarkSendRecvTCP(b *testing.B) {
+	ln, err := (&TCP{}).Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	ready := make(chan *Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			ready <- nil
+			return
+		}
+		ready <- NewConn(nc)
+	}()
+	nc, err := (&TCP{DialTimeout: time.Second}).Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := NewConn(nc)
+	defer client.Close()
+	server := <-ready
+	if server == nil {
+		b.Fatal("accept failed")
+	}
+	defer server.Close()
+
+	f := &wire.Frame{Type: wire.TypePublish, Msg: wire.Message{Topic: 1, Payload: make([]byte, 16)}}
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := server.Recv(); err != nil {
+				done <- fmt.Errorf("recv %d: %w", i, err)
+				return
+			}
+		}
+		done <- nil
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Msg.Seq = uint64(i)
+		if err := client.Send(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}

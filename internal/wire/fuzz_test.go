@@ -1,0 +1,48 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// FuzzDecode checks that Decode never panics on arbitrary input and that
+// anything it accepts re-encodes to the identical byte string (the codec
+// is canonical).
+func FuzzDecode(f *testing.F) {
+	seeds := []*Frame{
+		{Type: TypePublish, Msg: Message{Topic: 1, Seq: 2, Created: 3, Payload: []byte("abcdef0123456789")}},
+		{Type: TypeDispatch, Msg: Message{Topic: 9, Seq: 1}, Dispatched: time.Millisecond},
+		{Type: TypeReplicate, Msg: Message{Topic: 9, Seq: 1}, ArrivedPrimary: time.Millisecond},
+		{Type: TypePrune, Topic: 4, Seq: 17},
+		{Type: TypePoll, Nonce: 42},
+		{Type: TypeHello, Role: RoleBrokerPeer, Name: "peer"},
+		{Type: TypeSubscribe, Topics: []spec.TopicID{1, 2, 3}},
+		{Type: TypeTimeResp, Nonce: 1, T1: 2, T2: 3, T3: 4},
+	}
+	for _, fr := range seeds {
+		buf, err := Encode(nil, fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		re, err := Encode(nil, fr)
+		if err != nil {
+			t.Fatalf("decoded frame %+v does not re-encode: %v", fr, err)
+		}
+		if !reflect.DeepEqual(re, data) {
+			t.Fatalf("codec not canonical:\n in  %x\n out %x", data, re)
+		}
+	})
+}

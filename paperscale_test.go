@@ -1,0 +1,83 @@
+package frame
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simcluster"
+	"repro/internal/spec"
+)
+
+// TestPaperScaleOverloadMechanism verifies, at a paper-like 30 s window,
+// the mechanism behind Table 4's FRAME degradation at 13525 topics: on a
+// host drawing an unlucky speed factor the delivery demand crosses 100%,
+// the dispatch backlog grows without bound, Message Buffer slots wrap
+// before their dispatch jobs run, and messages are lost outright — so a
+// crash is not even needed for the loss-tolerance contract to break.
+//
+// With the default compressed windows (4–8 s) the backlog cannot grow far
+// enough, which is why the regenerated Table 4 shows FRAME at 100% where
+// the paper reports 73–80% ± 30 (see EXPERIMENTS.md). This test runs the
+// paper-scale window once to show the same failure mode appears when the
+// window does.
+func TestPaperScaleOverloadMechanism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("30s-window simulation (~20s wall)")
+	}
+	w, err := spec.NewWorkload(13525)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Emulate a run whose host drew speed factor 1.05: FRAME demand ≈ 104%.
+	cost := simcluster.DefaultCostModel()
+	cost.Dispatch = time.Duration(float64(cost.Dispatch) * 1.05)
+	cost.Replicate = time.Duration(float64(cost.Replicate) * 1.05)
+	cost.Coordinate = time.Duration(float64(cost.Coordinate) * 1.05)
+
+	res, err := simcluster.Run(simcluster.Options{
+		Workload: w, Variant: simcluster.VariantFRAME, Seed: 1, Cost: cost,
+		Warmup: time.Second, Measure: 30 * time.Second, Drain: 3 * time.Second,
+		CrashAt: 15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Util.PrimaryDelivery < 49 {
+		t.Fatalf("delivery module not saturated: %.1f%% (pre-crash half-window)", res.Util.PrimaryDelivery)
+	}
+	if res.PrimaryStats.EvictedMessages == 0 {
+		t.Fatal("no buffer evictions despite sustained overload")
+	}
+	var lossOK, total int
+	for _, tr := range res.Topics {
+		if tr.Topic.BestEffort() {
+			continue
+		}
+		total++
+		if tr.MeetsLossTolerance() {
+			lossOK++
+		}
+	}
+	if rate := float64(lossOK) / float64(total); rate > 0.5 {
+		t.Errorf("loss-tolerance success %.2f under sustained overload, want collapse (< 0.5)", rate)
+	}
+
+	// Control: the same 30 s window under FRAME+ (demand ≈ 50%) is clean.
+	plus, err := simcluster.Run(simcluster.Options{
+		Workload: w, Variant: simcluster.VariantFRAMEPlus, Seed: 1, Cost: cost,
+		Warmup: time.Second, Measure: 30 * time.Second, Drain: 3 * time.Second,
+		CrashAt: 15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range plus.Topics {
+		if tr.Topic.BestEffort() {
+			continue
+		}
+		if !tr.MeetsLossTolerance() {
+			t.Errorf("FRAME+ topic %d (cat %d) violated loss tolerance at paper scale",
+				tr.Topic.ID, tr.Topic.Category)
+		}
+	}
+}
