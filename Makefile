@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race short cover bench repro fuzz fmt vet clean
+.PHONY: all build test race short cover bench repro fuzz fmt fmtcheck vet ci clean
 
-all: build test
+all: build vet fmtcheck test
+
+# Mirror of .github/workflows/ci.yml for local runs.
+ci: build vet fmtcheck test race fuzz
 
 build:
 	$(GO) build ./...
@@ -35,6 +38,11 @@ fuzz:
 
 fmt:
 	gofmt -l -w .
+
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...

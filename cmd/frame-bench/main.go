@@ -7,6 +7,13 @@
 //	frame-bench -exp table4 -runs 10    # one experiment, paper-scale reps
 //	frame-bench -exp fig9 -crash 20s    # longer crash window
 //
+// With -scrape, frame-bench additionally (or, with -exp none, exclusively)
+// scrapes a live broker's /metrics admin endpoint and stores the samples as
+// a CSV artifact next to the experiment CSVs — the runtime counterpart of
+// the offline evaluation:
+//
+//	frame-bench -exp none -scrape localhost:7470 -csv artifacts
+//
 // Scale note: defaults are laptop-sized (3 runs, seconds-long windows);
 // the paper used 10 runs × 60 s. Overloaded configurations (FCFS at ≥7525
 // topics) score higher here than in the paper because a shorter window
@@ -15,14 +22,20 @@
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	neturl "net/url"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obsv"
 )
 
 func main() {
@@ -41,6 +54,7 @@ func run() error {
 		seed    = flag.Int64("seed", 1, "base random seed")
 		quiet   = flag.Bool("quiet", false, "suppress per-run progress")
 		csvDir  = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+		scrape  = flag.String("scrape", "", "scrape a live broker's /metrics (host:port or URL) into the CSV artifacts")
 	)
 	flag.Parse()
 
@@ -73,9 +87,9 @@ func run() error {
 		{"multiedge", func() (formatter, error) { return experiments.RunMultiEdge(cfg) }},
 	}
 
-	matched := false
+	matched := *exp == "none" // -exp none: scrape-only invocation
 	for _, e := range table {
-		if *exp != "all" && *exp != e.name {
+		if *exp == "none" || (*exp != "all" && *exp != e.name) {
 			continue
 		}
 		matched = true
@@ -92,9 +106,71 @@ func run() error {
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown -exp %q (want table4, table5, fig7, fig8, fig9, multiedge, or all)", *exp)
+		return fmt.Errorf("unknown -exp %q (want table4, table5, fig7, fig8, fig9, multiedge, all, or none)", *exp)
+	}
+	if *scrape != "" {
+		if err := scrapeMetrics(*scrape, *csvDir); err != nil {
+			return fmt.Errorf("scrape: %w", err)
+		}
 	}
 	return nil
+}
+
+// scrapeMetrics pulls one Prometheus exposition off a live broker's admin
+// endpoint and stores it as metrics.csv (metric,labels,value) in dir, or on
+// stdout when no -csv directory was given.
+func scrapeMetrics(target, dir string) error {
+	url := target
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	u, err := neturl.Parse(url)
+	if err != nil {
+		return err
+	}
+	if u.Path == "" || u.Path == "/" {
+		u.Path = "/metrics"
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(u.String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	samples, err := obsv.ParseText(resp.Body)
+	if err != nil {
+		return err
+	}
+	var out io.Writer = os.Stdout
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "metrics.csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s (%d samples)\n", path, len(samples))
+		}()
+		out = f
+	}
+	cw := csv.NewWriter(out)
+	if err := cw.Write([]string{"metric", "labels", "value"}); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if err := cw.Write([]string{s.Name, s.Label, strconv.FormatFloat(s.Value, 'g', -1, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // writeCSV stores one experiment's data under dir/<name>.csv.

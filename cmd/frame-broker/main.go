@@ -45,6 +45,7 @@ func run() error {
 		x          = flag.Duration("x", 50*time.Millisecond, "publisher fail-over time x")
 		diskDir    = flag.String("disk", "", "backup role: also persist replicas to this directory (Table 1 'local disk' strategy)")
 		diskSync   = flag.Bool("disk-sync", false, "fsync every persisted replica (durable, slow)")
+		adminAddr  = flag.String("admin-addr", "", "bind an HTTP admin endpoint here serving /metrics, /healthz, and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -101,6 +102,7 @@ func run() error {
 		Topics:        topics,
 		Logger:        logger,
 		DiskBackupDir: *diskDir,
+		AdminAddr:     *adminAddr,
 	}
 	if *diskSync {
 		opts.DiskSync = frame.DiskSyncAlways
@@ -111,7 +113,7 @@ func run() error {
 	}
 	b.Start()
 	logger.Info("broker running", "addr", b.Addr(), "role", *role,
-		"config", *config, "topics", len(topics))
+		"config", *config, "topics", len(topics), "admin", b.AdminAddr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -32,6 +32,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/diskstore"
 	"repro/internal/failover"
+	"repro/internal/obsv"
+	"repro/internal/queue"
 	"repro/internal/spec"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -91,15 +93,32 @@ type Options struct {
 	DiskBackupDir string
 	// DiskSync selects the log's durability; zero means diskstore.SyncNever.
 	DiskSync diskstore.SyncPolicy
+	// Obs receives runtime observability events (counters, stage latency
+	// histograms, lifecycle traces). Nil means a private instrument set;
+	// recording is always on — every instrument is an atomic add.
+	Obs *obsv.BrokerMetrics
+	// AdminAddr, when non-empty, binds an HTTP admin endpoint on that TCP
+	// address serving /metrics (Prometheus text), /healthz (role, peer
+	// liveness, queue depth), and /debug/pprof. The listener binds in New
+	// (so AdminAddr() is dialable immediately) and serves from Start.
+	AdminAddr string
 }
 
 // Broker runs one FRAME broker.
 type Broker struct {
-	opts   Options
-	log    *slog.Logger
-	ln     net.Listener
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
+	opts    Options
+	log     *slog.Logger
+	ln      net.Listener
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	obs     *obsv.BrokerMetrics
+	admin   *obsv.Admin
+	meter   transport.Meter // aggregate traffic over every conn this broker owns
+	started time.Time
+
+	// peerAlive reflects the Backup's view of the Primary: the last failure
+	// detector probe succeeded. Primaries report the replication link instead.
+	peerAlive atomic.Bool
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -156,6 +175,9 @@ func New(opts Options) (*Broker, error) {
 	if opts.Role == RoleBackup {
 		engineCfg.HasBackup = false
 	}
+	// Queue meters let the admin endpoint report depth without the engine
+	// lock; the atomics are cheap enough to leave on unconditionally.
+	engineCfg.MeterQueue = true
 	engine, err := core.New(engineCfg)
 	if err != nil {
 		return nil, err
@@ -169,16 +191,30 @@ func New(opts Options) (*Broker, error) {
 	if err != nil {
 		return nil, err
 	}
+	obs := opts.Obs
+	if obs == nil {
+		obs = obsv.NewBrokerMetrics()
+	}
 	b := &Broker{
 		opts:     opts,
 		log:      opts.Logger.With("broker", opts.ListenAddr, "role", opts.Role.String()),
 		ln:       ln,
+		obs:      obs,
+		started:  time.Now(),
 		engine:   engine,
 		role:     opts.Role,
 		promoted: make(chan struct{}),
 		subs:     make(map[spec.TopicID][]*transport.Conn),
 	}
 	b.cond = sync.NewCond(&b.mu)
+	if opts.AdminAddr != "" {
+		admin, err := obsv.NewAdmin(opts.AdminAddr, obs, b.Health, b.scrapeGauges)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		b.admin = admin
+	}
 	if opts.Role == RoleBackup && opts.DiskBackupDir != "" {
 		policy := opts.DiskSync
 		if policy == 0 {
@@ -187,6 +223,9 @@ func New(opts Options) (*Broker, error) {
 		disk, recovered, err := diskstore.Open(opts.DiskBackupDir, "replicas.log", policy)
 		if err != nil {
 			ln.Close()
+			if b.admin != nil {
+				b.admin.Close()
+			}
 			return nil, fmt.Errorf("broker: disk backup: %w", err)
 		}
 		b.disk = disk
@@ -206,6 +245,78 @@ func New(opts Options) (*Broker, error) {
 
 // Addr returns the bound listen address.
 func (b *Broker) Addr() string { return b.ln.Addr().String() }
+
+// AdminAddr returns the bound admin endpoint address, empty when no
+// Options.AdminAddr was configured.
+func (b *Broker) AdminAddr() string {
+	if b.admin == nil {
+		return ""
+	}
+	return b.admin.Addr()
+}
+
+// Obs returns the broker's instrument set.
+func (b *Broker) Obs() *obsv.BrokerMetrics { return b.obs }
+
+// Health snapshots the broker's liveness for /healthz: current role, peer
+// liveness (replication link up for a Primary, last probe answered for a
+// Backup), and job queue depth.
+func (b *Broker) Health() obsv.Health {
+	role := b.Role()
+	peerUp := false
+	if b.opts.PeerAddr != "" {
+		if b.opts.Role == RoleBackup && role == RoleBackup {
+			peerUp = b.peerAlive.Load()
+		} else {
+			peerUp = b.peer() != nil
+		}
+	}
+	return obsv.Health{
+		Role:           role.String(),
+		Addr:           b.Addr(),
+		PeerAddr:       b.opts.PeerAddr,
+		PeerConnected:  peerUp,
+		Promoted:       b.opts.Role == RoleBackup && role == RolePrimary,
+		QueueDepth:     b.engine.QueueMeter().Depth(),
+		LateDispatches: b.lateDispatches.Load(),
+		UptimeSeconds:  time.Since(b.started).Seconds(),
+	}
+}
+
+// scrapeGauges contributes the scrape-time samples to /metrics: state the
+// broker derives on demand (role, queue depth, transport totals) rather
+// than maintaining as counters. Everything here reads atomics or short
+// locks, so scrapes do not perturb the delivery path.
+func (b *Broker) scrapeGauges() []obsv.Sample {
+	qm := b.engine.QueueMeter()
+	role := b.Role()
+	return []obsv.Sample{
+		{Name: "frame_role", Label: fmt.Sprintf("role=%q", role.String()), Value: 1,
+			Help: "Current fault-tolerance role (1 for the active label)."},
+		{Name: "frame_uptime_seconds", Value: time.Since(b.started).Seconds(),
+			Help: "Wall time since the broker was created."},
+		{Name: "frame_queue_depth", Value: float64(qm.Depth()),
+			Help: "Jobs pending in the job queue."},
+		{Name: "frame_queue_depth_max", Value: float64(qm.MaxDepth()),
+			Help: "High-water job queue depth since start."},
+		{Name: "frame_queue_pushes_total", Label: `kind="dispatch"`, Counter: true,
+			Value: float64(qm.Pushes(queue.KindDispatch)), Help: "Jobs pushed, by kind."},
+		{Name: "frame_queue_pushes_total", Label: `kind="replicate"`, Counter: true,
+			Value: float64(qm.Pushes(queue.KindReplicate)), Help: "Jobs pushed, by kind."},
+		{Name: "frame_queue_pops_total", Label: `kind="dispatch"`, Counter: true,
+			Value: float64(qm.Pops(queue.KindDispatch)), Help: "Jobs popped, by kind."},
+		{Name: "frame_queue_pops_total", Label: `kind="replicate"`, Counter: true,
+			Value: float64(qm.Pops(queue.KindReplicate)), Help: "Jobs popped, by kind."},
+		{Name: "frame_transport_frames_sent_total", Counter: true,
+			Value: float64(b.meter.FramesSent.Load()), Help: "Wire frames sent on broker-owned connections."},
+		{Name: "frame_transport_bytes_sent_total", Counter: true,
+			Value: float64(b.meter.BytesSent.Load()), Help: "Wire bytes sent on broker-owned connections."},
+		{Name: "frame_transport_frames_recv_total", Counter: true,
+			Value: float64(b.meter.FramesRecv.Load()), Help: "Wire frames received on broker-owned connections."},
+		{Name: "frame_transport_bytes_recv_total", Counter: true,
+			Value: float64(b.meter.BytesRecv.Load()), Help: "Wire bytes received on broker-owned connections."},
+	}
+}
 
 // Role returns the broker's current role (Backup becomes Primary after
 // promotion).
@@ -235,6 +346,16 @@ func (b *Broker) Start() {
 	ctx, cancel := context.WithCancel(context.Background())
 	b.cancel = cancel
 
+	if b.admin != nil {
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			if err := b.admin.Serve(); err != nil {
+				b.log.Warn("admin endpoint stopped", "err", err)
+			}
+		}()
+		b.log.Info("admin endpoint up", "addr", b.admin.Addr())
+	}
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
@@ -287,6 +408,11 @@ func (b *Broker) Stop() {
 	b.cond.Broadcast()
 	b.mu.Unlock()
 	b.ln.Close()
+	if b.admin != nil {
+		if err := b.admin.Close(); err != nil {
+			b.log.Warn("admin close failed", "err", err)
+		}
+	}
 	b.peerMu.Lock()
 	if b.peerConn != nil {
 		b.peerConn.Close()
@@ -329,6 +455,7 @@ func (b *Broker) acceptLoop(ctx context.Context) {
 			return
 		}
 		conn := transport.NewConn(nc)
+		conn.SetMeter(&b.meter)
 		b.wg.Add(1)
 		go func() {
 			defer b.wg.Done()
@@ -378,6 +505,7 @@ func (b *Broker) handleFrame(conn *transport.Conn, f *wire.Frame) error {
 		}
 		return nil
 	case wire.TypePrune:
+		b.obs.PrunesReceived.Inc()
 		b.mu.Lock()
 		b.engine.OnPrune(f.Topic, f.Seq)
 		b.mu.Unlock()
@@ -397,11 +525,19 @@ func (b *Broker) handleFrame(conn *transport.Conn, f *wire.Frame) error {
 func (b *Broker) onPublish(m wire.Message) error {
 	now := b.opts.Clock()
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	if err := b.engine.OnPublish(m, now); err != nil {
+	err := b.engine.OnPublish(m, now)
+	if err == nil {
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+	if err != nil {
+		b.obs.PublishRejected.Inc()
 		return err
 	}
-	b.cond.Broadcast()
+	b.obs.Publishes.Inc()
+	b.obs.StageProxy.Observe(b.opts.Clock() - now)
+	b.obs.Trace(obsv.TraceEvent{Stage: obsv.StagePublish, Topic: uint64(m.Topic), Seq: m.Seq, At: now})
+	b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageEnqueue, Topic: uint64(m.Topic), Seq: m.Seq, At: now})
 	return nil
 }
 
@@ -416,8 +552,12 @@ func (b *Broker) onReplica(f *wire.Frame) error {
 	}
 	b.diskMu.Unlock()
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.engine.OnReplica(f.Msg, f.ArrivedPrimary)
+	err := b.engine.OnReplica(f.Msg, f.ArrivedPrimary)
+	b.mu.Unlock()
+	if err == nil {
+		b.obs.ReplicasStored.Inc()
+	}
+	return err
 }
 
 func (b *Broker) addSubscriber(conn *transport.Conn, topics []spec.TopicID) {
@@ -468,14 +608,28 @@ func (b *Broker) workerLoop() {
 		}
 		b.mu.Unlock()
 
+		// Stage accounting: queue wait is enqueue (job release) → pop; the
+		// per-kind stage histograms then cover pop → network sends done.
+		popped := b.opts.Clock()
+		b.obs.StageQueueWait.Observe(popped - w.Job.Release)
+		b.obs.Trace(obsv.TraceEvent{Stage: obsv.StagePop, Topic: uint64(w.Msg.Topic), Seq: w.Msg.Seq, At: popped})
 		switch w.Kind {
 		case core.WorkDispatch:
-			if b.opts.Clock() > w.Job.Deadline {
+			if popped > w.Job.Deadline {
 				b.lateDispatches.Add(1)
+				b.obs.LateDispatches.Inc()
 			}
 			b.dispatch(w)
+			done := b.opts.Clock()
+			b.obs.Dispatches.Inc()
+			b.obs.StageDispatch.Observe(done - popped)
+			b.obs.EndToEnd.Observe(done - w.Job.Release)
+			b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageAck, Topic: uint64(w.Msg.Topic), Seq: w.Msg.Seq, At: done})
 		case core.WorkReplicate:
 			b.replicate(w)
+			done := b.opts.Clock()
+			b.obs.StageReplicate.Observe(done - popped)
+			b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageAck, Topic: uint64(w.Msg.Topic), Seq: w.Msg.Seq, At: done})
 		}
 	}
 }
@@ -486,11 +640,15 @@ func (b *Broker) dispatch(w core.Work) {
 	b.subsMu.Lock()
 	conns := append([]*transport.Conn(nil), b.subs[w.Msg.Topic]...)
 	b.subsMu.Unlock()
+	b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageDispatch, Topic: uint64(w.Msg.Topic), Seq: w.Msg.Seq, At: b.opts.Clock()})
 	frame := &wire.Frame{Type: wire.TypeDispatch, Msg: w.Msg, Dispatched: b.opts.Clock()}
 	for _, c := range conns {
 		if err := c.Send(frame); err != nil {
+			b.obs.DispatchSendErrors.Inc()
 			b.log.Warn("dispatch send failed", "topic", w.Msg.Topic, "err", err)
+			continue
 		}
+		b.obs.DispatchSends.Inc()
 	}
 
 	b.mu.Lock()
@@ -500,6 +658,8 @@ func (b *Broker) dispatch(w core.Work) {
 		if peer := b.peer(); peer != nil {
 			if err := peer.Send(&wire.Frame{Type: wire.TypePrune, Topic: co.Topic, Seq: co.Seq}); err != nil {
 				b.log.Warn("prune send failed", "err", err)
+			} else {
+				b.obs.PrunesSent.Inc()
 			}
 		}
 	}
@@ -512,11 +672,14 @@ func (b *Broker) replicate(w core.Work) {
 	if peer == nil {
 		return // backup gone or never configured
 	}
+	b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageReplicate, Topic: uint64(w.Msg.Topic), Seq: w.Msg.Seq, At: b.opts.Clock()})
 	frame := &wire.Frame{Type: wire.TypeReplicate, Msg: w.Msg, ArrivedPrimary: w.ArrivedPrimary}
 	if err := peer.Send(frame); err != nil {
+		b.obs.ReplicateErrors.Inc()
 		b.log.Warn("replicate send failed", "topic", w.Msg.Topic, "err", err)
 		return
 	}
+	b.obs.Replicates.Inc()
 	b.mu.Lock()
 	b.engine.OnReplicated(w.Job)
 	b.mu.Unlock()
@@ -535,6 +698,7 @@ func (b *Broker) dialPeer() (*transport.Conn, error) {
 		return nil, err
 	}
 	conn := transport.NewConn(nc)
+	conn.SetMeter(&b.meter)
 	if err := conn.Send(&wire.Frame{Type: wire.TypeHello, Role: wire.RoleBrokerPeer, Name: b.Addr()}); err != nil {
 		conn.Close()
 		return nil, err
@@ -595,6 +759,7 @@ func (b *Broker) watchPrimary(ctx context.Context) {
 			}
 		}
 		conn = transport.NewConn(nc)
+		conn.SetMeter(&b.meter)
 		break
 	}
 	if conn == nil {
@@ -611,6 +776,15 @@ func (b *Broker) watchPrimary(ctx context.Context) {
 		b.log.Error("detector init failed", "err", err)
 		return
 	}
+	det.SetOnProbe(func(err error) {
+		b.obs.DetectorProbes.Inc()
+		if err != nil {
+			b.obs.DetectorMisses.Inc()
+			b.peerAlive.Store(false)
+			return
+		}
+		b.peerAlive.Store(true)
+	})
 	if err := det.Run(ctx); err != nil && ctx.Err() == nil {
 		b.log.Warn("detector stopped", "err", err)
 	}
@@ -630,6 +804,14 @@ func (b *Broker) promote() {
 	b.cond.Broadcast()
 	b.mu.Unlock()
 	close(b.promoted)
+	b.obs.Promotions.Inc()
+	b.obs.RecoveryJobs.Add(stats.RecoveryJobs)
+	b.obs.RecoverySkipped.Add(stats.RecoverySkipped)
+	now := b.opts.Clock()
+	b.obs.Trace(obsv.TraceEvent{Stage: obsv.StagePromote, At: now})
+	for i := uint64(0); i < stats.RecoveryJobs; i++ {
+		b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageRecovery, At: now})
+	}
 	b.log.Info("promoted to primary",
 		"recoveryJobs", stats.RecoveryJobs, "skipped", stats.RecoverySkipped)
 }

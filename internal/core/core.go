@@ -63,6 +63,11 @@ type Config struct {
 	// A promoted Backup runs with HasBackup=false: the paper's scope is one
 	// broker failure, so the new Primary does not re-replicate.
 	HasBackup bool
+	// MeterQueue wraps the job queue in queue.NewMetered, making depth and
+	// push/pop counters readable without the engine lock (QueueMeter). The
+	// broker runtime enables this for its admin endpoint; the simulator
+	// leaves it off.
+	MeterQueue bool
 }
 
 // Default buffer capacities.
@@ -204,6 +209,7 @@ type Engine struct {
 	cfg    Config
 	topics map[spec.TopicID]*topicState
 	jobs   queue.Queue
+	meter  *queue.Metered // non-nil iff cfg.MeterQueue
 	stats  Stats
 }
 
@@ -218,11 +224,16 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.BackupBufferCap == 0 {
 		cfg.BackupBufferCap = DefaultBackupBufferCap
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:    cfg,
 		topics: make(map[spec.TopicID]*topicState),
 		jobs:   queue.New(cfg.Policy),
-	}, nil
+	}
+	if cfg.MeterQueue {
+		e.meter = queue.NewMetered(e.jobs)
+		e.jobs = e.meter
+	}
+	return e, nil
 }
 
 // Config returns the engine's configuration.
@@ -233,6 +244,11 @@ func (e *Engine) Stats() Stats { return e.stats }
 
 // QueueLen returns the number of pending jobs.
 func (e *Engine) QueueLen() int { return e.jobs.Len() }
+
+// QueueMeter returns the job queue's meters when Config.MeterQueue is set,
+// else nil. Unlike every other Engine method, the meter's accessors are
+// safe to read without the runtime's engine lock.
+func (e *Engine) QueueMeter() *queue.Metered { return e.meter }
 
 // AddTopic registers a topic, computing its pseudo relative deadlines
 // Dd' = Di − ΔBS and Dr' = (Ni+Li)·Ti − ΔBB − x (§IV-A) and the

@@ -71,6 +71,7 @@ type Detector struct {
 	cfg     Config
 	probe   Probe
 	onCrash func()
+	onProbe func(err error)
 
 	mu     sync.Mutex
 	misses int
@@ -92,6 +93,11 @@ func New(cfg Config, probe Probe, onCrash func()) (*Detector, error) {
 	return &Detector{cfg: cfg, probe: probe, onCrash: onCrash}, nil
 }
 
+// SetOnProbe registers an observability callback invoked with each probe
+// result (nil on success) before it is folded into the miss counter. Must
+// be called before Run; the callback runs on Run's goroutine.
+func (d *Detector) SetOnProbe(f func(err error)) { d.onProbe = f }
+
 // Run polls until the context is canceled or a crash is declared. It
 // returns context.Canceled on cancellation and nil after firing onCrash.
 func (d *Detector) Run(ctx context.Context) error {
@@ -108,6 +114,9 @@ func (d *Detector) Run(ctx context.Context) error {
 		cancel()
 		if ctx.Err() != nil {
 			return ctx.Err()
+		}
+		if d.onProbe != nil {
+			d.onProbe(err)
 		}
 		if d.observe(err) {
 			d.onCrash()

@@ -195,3 +195,54 @@ func TestConnProbeAgainstResponder(t *testing.T) {
 		t.Fatal("crash not detected")
 	}
 }
+
+// TestSetOnProbe checks the observability hook sees every probe result in
+// order: successes while the peer answers, then the misses that declare the
+// crash.
+func TestSetOnProbe(t *testing.T) {
+	alive := atomic.Bool{}
+	alive.Store(true)
+	probe := func(ctx context.Context) error {
+		if alive.Load() {
+			return nil
+		}
+		return errors.New("down")
+	}
+	var oks, misses atomic.Uint64
+	fired := make(chan struct{})
+	det, err := New(testConfig(), probe, func() { close(fired) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.SetOnProbe(func(err error) {
+		if err == nil {
+			oks.Add(1)
+		} else {
+			misses.Add(1)
+		}
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- det.Run(ctx) }()
+
+	deadline := time.Now().Add(time.Second)
+	for oks.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if oks.Load() < 3 {
+		t.Fatal("no successful probes observed")
+	}
+	alive.Store(false)
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("crash not detected")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Run returned %v", err)
+	}
+	if got := misses.Load(); got != uint64(testConfig().Misses) {
+		t.Errorf("observed misses = %d, want %d", got, testConfig().Misses)
+	}
+}

@@ -9,13 +9,19 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
 // LatencyRecorder accumulates a latency distribution with reservoir-free
 // exact percentiles (it keeps all samples; evaluation runs record at most a
-// few million). The zero value is ready to use.
+// few million). The zero value is ready to use. All methods are safe for
+// concurrent use: Percentile sorts the sample slice in place, so without
+// the lock a concurrent Record could observe (or corrupt) the mid-sort
+// slice. Runtime hot paths should prefer obsv.Histogram, which streams
+// into fixed buckets instead of keeping every sample.
 type LatencyRecorder struct {
+	mu      sync.Mutex
 	samples []time.Duration
 	sum     time.Duration
 	sorted  bool
@@ -23,16 +29,24 @@ type LatencyRecorder struct {
 
 // Record adds one sample.
 func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.samples = append(r.samples, d)
 	r.sum += d
 	r.sorted = false
 }
 
 // Count returns the number of samples.
-func (r *LatencyRecorder) Count() int { return len(r.samples) }
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
 
 // Mean returns the mean latency, or zero with no samples.
 func (r *LatencyRecorder) Mean() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.samples) == 0 {
 		return 0
 	}
@@ -41,6 +55,8 @@ func (r *LatencyRecorder) Mean() time.Duration {
 
 // Max returns the maximum sample, or zero with no samples.
 func (r *LatencyRecorder) Max() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var m time.Duration
 	for _, s := range r.samples {
 		if s > m {
@@ -53,6 +69,8 @@ func (r *LatencyRecorder) Max() time.Duration {
 // Percentile returns the p-quantile (0 < p ≤ 1) by nearest-rank, or zero
 // with no samples.
 func (r *LatencyRecorder) Percentile(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.samples) == 0 {
 		return 0
 	}
@@ -75,6 +93,8 @@ func (r *LatencyRecorder) Percentile(p float64) time.Duration {
 
 // MeetRate returns the fraction of samples at or below bound.
 func (r *LatencyRecorder) MeetRate(bound time.Duration) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.samples) == 0 {
 		return 1
 	}
@@ -87,10 +107,14 @@ func (r *LatencyRecorder) MeetRate(bound time.Duration) float64 {
 	return float64(met) / float64(len(r.samples))
 }
 
-// Samples returns the recorded samples in insertion order only if the
-// recorder has not been asked for percentiles (which sorts in place);
-// callers needing both should copy first. Used by the Fig. 9 time-series.
-func (r *LatencyRecorder) Samples() []time.Duration { return r.samples }
+// Samples returns a copy of the recorded samples: in insertion order if the
+// recorder has never been asked for percentiles (which sort in place),
+// ascending afterwards. Used by the Fig. 9 time-series.
+func (r *LatencyRecorder) Samples() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.samples...)
+}
 
 // LossTracker watches one topic's delivered sequence numbers and reports the
 // longest run of consecutive losses (§III-B: a subscriber tolerates at most

@@ -1,0 +1,101 @@
+package obsv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Health is the /healthz report: the broker's current fault-tolerance role
+// and the liveness signals an operator (or orchestrator probe) needs to
+// decide whether the deployment is serving.
+type Health struct {
+	// Role is "primary" or "backup".
+	Role string `json:"role"`
+	// Addr is the broker's message listen address.
+	Addr string `json:"addr,omitempty"`
+	// PeerAddr is the configured peer broker, empty for a solo Primary.
+	PeerAddr string `json:"peer_addr,omitempty"`
+	// PeerConnected reports a live replication/polling link to the peer.
+	PeerConnected bool `json:"peer_connected"`
+	// Promoted reports that this broker started as Backup and has since
+	// promoted itself to Primary.
+	Promoted bool `json:"promoted"`
+	// QueueDepth is the number of jobs pending in the job queue.
+	QueueDepth int64 `json:"queue_depth"`
+	// LateDispatches counts dispatches that began past their deadline.
+	LateDispatches uint64 `json:"late_dispatches"`
+	// UptimeSeconds is wall time since the broker was created.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Admin is the embedded observability endpoint: /metrics (Prometheus text),
+// /healthz (JSON Health), and /debug/pprof. It binds its TCP listener at
+// construction, so Addr is dialable before Serve runs.
+type Admin struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewAdmin binds addr and returns a server exposing the metric set, the
+// health callback, and pprof. gauges, when non-nil, contributes scrape-time
+// samples (queue depth, transport totals, role) to /metrics.
+func NewAdmin(addr string, m *BrokerMetrics, health func() Health, gauges func() []Sample) (*Admin, error) {
+	if m == nil {
+		return nil, errors.New("obsv: nil metrics")
+	}
+	if health == nil {
+		return nil, errors.New("obsv: nil health callback")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsv: admin listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var extra []Sample
+		if gauges != nil {
+			extra = gauges()
+		}
+		_ = m.WritePrometheus(w, extra)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(health())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &Admin{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}, nil
+}
+
+// Addr returns the bound admin address.
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Serve blocks handling requests until Close. It returns nil on a clean
+// shutdown.
+func (a *Admin) Serve() error {
+	err := a.srv.Serve(a.ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Close immediately shuts the server and its listener down.
+func (a *Admin) Close() error { return a.srv.Close() }

@@ -1,0 +1,88 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startAdmin(t *testing.T, m *BrokerMetrics, health func() Health, gauges func() []Sample) *Admin {
+	t.Helper()
+	a, err := NewAdmin("127.0.0.1:0", m, health, gauges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go a.Serve()
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+func adminGet(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(fmt.Sprintf("http://%s%s", addr, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	m := NewBrokerMetrics()
+	m.Publishes.Add(9)
+	health := func() Health {
+		return Health{Role: "primary", QueueDepth: 4, PeerConnected: true}
+	}
+	gauges := func() []Sample {
+		return []Sample{{Name: "frame_queue_depth", Value: 4, Help: "depth"}}
+	}
+	a := startAdmin(t, m, health, gauges)
+
+	code, body := adminGet(t, a.Addr(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{"frame_publish_total 9", "frame_queue_depth 4"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = adminGet(t, a.Addr(), "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, body)
+	}
+	if h.Role != "primary" || h.QueueDepth != 4 || !h.PeerConnected {
+		t.Errorf("healthz = %+v", h)
+	}
+
+	code, body = adminGet(t, a.Addr(), "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestAdminValidation(t *testing.T) {
+	if _, err := NewAdmin("127.0.0.1:0", nil, func() Health { return Health{} }, nil); err == nil {
+		t.Error("nil metrics accepted")
+	}
+	if _, err := NewAdmin("127.0.0.1:0", NewBrokerMetrics(), nil, nil); err == nil {
+		t.Error("nil health accepted")
+	}
+	if _, err := NewAdmin("256.0.0.1:bogus", NewBrokerMetrics(), func() Health { return Health{} }, nil); err == nil {
+		t.Error("bogus address accepted")
+	}
+}

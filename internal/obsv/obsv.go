@@ -1,0 +1,427 @@
+// Package obsv is the broker's runtime observability layer: lock-cheap
+// atomic counters, streaming log-linear latency histograms, stage-level
+// lifecycle trace hooks, and an embedded HTTP admin endpoint (admin.go)
+// serving Prometheus text metrics, a JSON health report, and pprof.
+//
+// The FRAME evaluation (§VI) measures end-to-end latency, deadline success,
+// and consecutive losses after the fact; this package makes the same
+// quantities continuously observable on a live broker, so load tests and
+// later optimisation work can read before/after numbers off `/metrics`
+// instead of re-running the offline harness. Everything on the record path
+// is a single atomic add — no locks, no allocation — so instrumenting the
+// hot dispatch loop costs nanoseconds.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; it must not be copied after first use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// defaultBounds are the histogram bucket upper bounds: a 1–2–5 log-linear
+// ladder from 1µs to 10s, HDR-style resolution (≤ 2.5× relative error per
+// bucket) at a fixed 22-slot cost. Latencies above 10s land in +Inf.
+func defaultBounds() []time.Duration {
+	var bounds []time.Duration
+	for decade := time.Microsecond; decade <= 10*time.Second; decade *= 10 {
+		for _, m := range []time.Duration{1, 2, 5} {
+			if b := m * decade; b <= 10*time.Second {
+				bounds = append(bounds, b)
+			}
+		}
+	}
+	return bounds
+}
+
+// Histogram is a streaming latency histogram with fixed bucket bounds:
+// every Observe is two atomic adds, so it replaces keep-all-samples
+// recording on hot paths. Safe for concurrent use; must not be copied.
+type Histogram struct {
+	bounds []time.Duration // ascending upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf overflow
+	sum    atomic.Int64    // nanoseconds
+	count  atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the default 1µs–10s bounds.
+func NewHistogram() *Histogram { return NewHistogramBounds(defaultBounds()) }
+
+// NewHistogramBounds returns a histogram over the given ascending upper
+// bounds. It panics on an empty or unsorted bounds slice.
+func NewHistogramBounds(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		panic("obsv: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obsv: histogram bounds not ascending at %d", i))
+		}
+	}
+	return &Histogram{
+		bounds: append([]time.Duration(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration. Negative durations (possible under clock
+// skew) count into the first bucket rather than being dropped, so Count
+// stays consistent with the number of events.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	idx := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[idx].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile returns an upper bound on the p-quantile (0 < p ≤ 1): the upper
+// bound of the bucket holding the rank, or the top finite bound for
+// overflow observations. Zero with no observations.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(math.Ceil(p * float64(total))) // nearest-rank
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1] // overflow: report top bound
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Buckets returns the bounds and a snapshot of the per-bucket counts (the
+// trailing slot is the +Inf overflow).
+func (h *Histogram) Buckets() ([]time.Duration, []uint64) {
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts
+}
+
+// Stage labels one point in the message lifecycle for tracing:
+// publish → enqueue → pop → dispatch/replicate → ack, plus the
+// failover-promotion and recovery events.
+type Stage int
+
+// Lifecycle stages.
+const (
+	StagePublish   Stage = iota + 1 // message accepted by the Message Proxy
+	StageEnqueue                    // jobs pushed into the job queue
+	StagePop                        // job popped by a delivery worker (EDF order)
+	StageDispatch                   // dispatch send to subscribers started
+	StageReplicate                  // replica send to the Backup started
+	StageAck                        // delivery work completed
+	StagePromote                    // Backup promoted itself to Primary
+	StageRecovery                   // recovery dispatch generated at promotion
+)
+
+// String returns the stage label.
+func (s Stage) String() string {
+	switch s {
+	case StagePublish:
+		return "publish"
+	case StageEnqueue:
+		return "enqueue"
+	case StagePop:
+		return "pop"
+	case StageDispatch:
+		return "dispatch"
+	case StageReplicate:
+		return "replicate"
+	case StageAck:
+		return "ack"
+	case StagePromote:
+		return "promote"
+	case StageRecovery:
+		return "recovery"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// TraceEvent is one lifecycle hook firing.
+type TraceEvent struct {
+	Stage Stage
+	Topic uint64
+	Seq   uint64
+	// At is the broker-clock timestamp of the event.
+	At time.Duration
+}
+
+// BrokerMetrics is the full instrument set one broker maintains. All fields
+// are safe for concurrent use; create with NewBrokerMetrics.
+type BrokerMetrics struct {
+	// Message Proxy (publish path).
+	Publishes       Counter // messages accepted
+	PublishRejected Counter // publishes dropped (unknown topic etc.)
+
+	// Message Delivery (worker pool).
+	Dispatches         Counter // dispatch jobs completed
+	DispatchSends      Counter // per-subscriber dispatch frames sent
+	DispatchSendErrors Counter // per-subscriber dispatch send failures
+	LateDispatches     Counter // dispatches starting past their deadline
+	Replicates         Counter // replicas delivered to the Backup
+	ReplicateErrors    Counter // replica send failures
+
+	// Backup role and Table 3 coordination.
+	ReplicasStored Counter // copies absorbed into the Backup Buffer
+	PrunesSent     Counter // prune requests issued to the Backup
+	PrunesReceived Counter // prune requests applied from the Primary
+
+	// Failover.
+	Promotions      Counter // backup→primary transitions (0 or 1 per run)
+	RecoveryJobs    Counter // dispatch jobs generated while draining at promotion
+	RecoverySkipped Counter // Backup Buffer entries skipped via Discard
+	DetectorProbes  Counter // failure-detector probes completed
+	DetectorMisses  Counter // probes that timed out or errored
+
+	// Stage latency distributions.
+	StageProxy     *Histogram // publish arrival → jobs enqueued
+	StageQueueWait *Histogram // job enqueue → worker pop
+	StageDispatch  *Histogram // pop → all subscriber sends done
+	StageReplicate *Histogram // pop → replica send done
+	EndToEnd       *Histogram // broker arrival → dispatch completion
+
+	tracer atomic.Pointer[func(TraceEvent)]
+}
+
+// NewBrokerMetrics returns a zeroed instrument set.
+func NewBrokerMetrics() *BrokerMetrics {
+	return &BrokerMetrics{
+		StageProxy:     NewHistogram(),
+		StageQueueWait: NewHistogram(),
+		StageDispatch:  NewHistogram(),
+		StageReplicate: NewHistogram(),
+		EndToEnd:       NewHistogram(),
+	}
+}
+
+// SetTracer installs (or, with nil, removes) a lifecycle trace callback.
+// The callback runs inline on broker goroutines and must be fast and
+// non-blocking; it is meant for tests and targeted debugging, not steady
+// operation.
+func (m *BrokerMetrics) SetTracer(f func(TraceEvent)) {
+	if f == nil {
+		m.tracer.Store(nil)
+		return
+	}
+	m.tracer.Store(&f)
+}
+
+// Trace fires a lifecycle event at the installed tracer; without one it is
+// a single atomic load.
+func (m *BrokerMetrics) Trace(ev TraceEvent) {
+	if f := m.tracer.Load(); f != nil {
+		(*f)(ev)
+	}
+}
+
+// Sample is one externally supplied metric point for the Prometheus
+// exposition: gauges the broker computes at scrape time (queue depth, role,
+// transport totals) rather than maintaining in BrokerMetrics.
+type Sample struct {
+	Name string
+	// Label is a raw `key="value"` pair list without braces, or empty.
+	Label string
+	Value float64
+	// Counter marks the sample TYPE as counter instead of gauge.
+	Counter bool
+	Help    string
+}
+
+// WritePrometheus renders the instrument set, plus any extra samples, in
+// the Prometheus text exposition format (version 0.0.4).
+func (m *BrokerMetrics) WritePrometheus(w io.Writer, extra []Sample) error {
+	counters := []struct {
+		name, help string
+		c          *Counter
+	}{
+		{"frame_publish_total", "Messages accepted by the Message Proxy.", &m.Publishes},
+		{"frame_publish_rejected_total", "Publishes dropped (unknown topic or engine error).", &m.PublishRejected},
+		{"frame_dispatch_total", "Dispatch jobs completed by the worker pool.", &m.Dispatches},
+		{"frame_dispatch_sends_total", "Per-subscriber dispatch frames sent.", &m.DispatchSends},
+		{"frame_dispatch_send_errors_total", "Per-subscriber dispatch send failures.", &m.DispatchSendErrors},
+		{"frame_dispatch_late_total", "Dispatch jobs that started past their deadline (Lemma 2 violations).", &m.LateDispatches},
+		{"frame_replicate_total", "Replicas delivered to the Backup.", &m.Replicates},
+		{"frame_replicate_errors_total", "Replica send failures.", &m.ReplicateErrors},
+		{"frame_replicas_stored_total", "Copies absorbed into the Backup Buffer.", &m.ReplicasStored},
+		{"frame_prunes_sent_total", "Prune requests issued to the Backup (Table 3 Dispatch.3).", &m.PrunesSent},
+		{"frame_prunes_received_total", "Prune requests applied from the Primary.", &m.PrunesReceived},
+		{"frame_promotions_total", "Backup-to-Primary promotions.", &m.Promotions},
+		{"frame_recovery_jobs_total", "Dispatch jobs generated draining the Backup Buffer at promotion.", &m.RecoveryJobs},
+		{"frame_recovery_skipped_total", "Backup Buffer entries skipped via Discard at promotion.", &m.RecoverySkipped},
+		{"frame_detector_probes_total", "Failure-detector probes completed.", &m.DetectorProbes},
+		{"frame_detector_probe_misses_total", "Failure-detector probes that errored or timed out.", &m.DetectorMisses},
+	}
+	for _, c := range counters {
+		if err := writeHeader(w, c.name, c.help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.name, c.c.Load()); err != nil {
+			return err
+		}
+	}
+	hists := []struct {
+		name, help string
+		h          *Histogram
+	}{
+		{"frame_stage_proxy_seconds", "Publish arrival to jobs enqueued (Message Proxy).", m.StageProxy},
+		{"frame_stage_queue_wait_seconds", "Job enqueue to worker pop (EDF Job Queue wait).", m.StageQueueWait},
+		{"frame_stage_dispatch_seconds", "Worker pop to all subscriber sends done (Dispatcher).", m.StageDispatch},
+		{"frame_stage_replicate_seconds", "Worker pop to replica send done (Replicator).", m.StageReplicate},
+		{"frame_e2e_dispatch_seconds", "Broker arrival to dispatch completion.", m.EndToEnd},
+	}
+	for _, h := range hists {
+		if err := writeHistogram(w, h.name, h.help, h.h); err != nil {
+			return err
+		}
+	}
+	for _, s := range extra {
+		typ := "gauge"
+		if s.Counter {
+			typ = "counter"
+		}
+		if err := writeHeader(w, s.Name, s.Help, typ); err != nil {
+			return err
+		}
+		line := s.Name
+		if s.Label != "" {
+			line += "{" + s.Label + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", line, formatValue(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, typ string) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ); err != nil {
+		return err
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name, help string, h *Histogram) error {
+	if err := writeHeader(w, name, help, "histogram"); err != nil {
+		return err
+	}
+	bounds, counts := h.Buckets()
+	var cum uint64
+	for i, b := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+			name, formatValue(b.Seconds()), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		name, formatValue(h.Sum().Seconds()), name, h.Count()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// formatValue renders a float without exponent notation for the magnitudes
+// metrics produce, matching what common scrapers expect.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ParseText parses a Prometheus text exposition into samples, one per
+// metric line; comment and blank lines are skipped. It is the scrape-side
+// inverse of WritePrometheus, used by cmd/frame-bench to turn a live
+// broker's /metrics into CSV artifacts.
+func ParseText(r io.Reader) ([]Sample, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Sample
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{labels} value  |  name value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("obsv: metrics line %d: no value in %q", ln+1, line)
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("obsv: metrics line %d: %w", ln+1, err)
+		}
+		key := strings.TrimSpace(line[:sp])
+		s := Sample{Name: key, Value: val}
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				return nil, fmt.Errorf("obsv: metrics line %d: unterminated labels in %q", ln+1, line)
+			}
+			s.Name = key[:i]
+			s.Label = key[i+1 : len(key)-1]
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Find returns the first sample matching name (and, when label is
+// non-empty, the exact raw label string), or false.
+func Find(samples []Sample, name, label string) (Sample, bool) {
+	for _, s := range samples {
+		if s.Name == name && (label == "" || s.Label == label) {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}

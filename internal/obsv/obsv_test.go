@@ -1,0 +1,183 @@
+package obsv
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Errorf("Load = %d, want 5", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("fresh histogram not empty")
+	}
+	h.Observe(3 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	h.Observe(300 * time.Millisecond)
+	if got := h.Count(); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 333*time.Millisecond {
+		t.Errorf("Sum = %v, want 333ms", got)
+	}
+	// 3ms lands in the ≤5ms bucket; the median upper bound is ≤50ms.
+	if q := h.Quantile(0.01); q != 5*time.Millisecond {
+		t.Errorf("Quantile(0.01) = %v, want 5ms", q)
+	}
+	if q := h.Quantile(0.5); q != 50*time.Millisecond {
+		t.Errorf("Quantile(0.5) = %v, want 50ms", q)
+	}
+	if q := h.Quantile(1); q != 500*time.Millisecond {
+		t.Errorf("Quantile(1) = %v, want 500ms", q)
+	}
+}
+
+func TestHistogramNegativeAndOverflow(t *testing.T) {
+	h := NewHistogramBounds([]time.Duration{time.Millisecond, time.Second})
+	h.Observe(-time.Second) // clock skew: clamps into the first bucket
+	h.Observe(time.Hour)    // overflow: +Inf bucket
+	if got := h.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	_, counts := h.Buckets()
+	if counts[0] != 1 || counts[2] != 1 {
+		t.Errorf("bucket counts = %v, want [1 0 1]", counts)
+	}
+	// Overflow quantile reports the top finite bound rather than inventing
+	// a value.
+	if q := h.Quantile(1); q != time.Second {
+		t.Errorf("Quantile(1) = %v, want 1s", q)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]time.Duration{nil, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v accepted", bounds)
+				}
+			}()
+			NewHistogramBounds(bounds)
+		}()
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, each = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(g*i) * time.Microsecond)
+				if i%100 == 0 {
+					h.Quantile(0.99)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*each {
+		t.Errorf("Count = %d, want %d", got, goroutines*each)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	want := map[Stage]string{
+		StagePublish: "publish", StageEnqueue: "enqueue", StagePop: "pop",
+		StageDispatch: "dispatch", StageReplicate: "replicate", StageAck: "ack",
+		StagePromote: "promote", StageRecovery: "recovery",
+	}
+	for s, label := range want {
+		if s.String() != label {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), label)
+		}
+	}
+	if Stage(99).String() != "Stage(99)" {
+		t.Error("unknown stage label wrong")
+	}
+}
+
+func TestTracer(t *testing.T) {
+	m := NewBrokerMetrics()
+	var got []TraceEvent
+	m.Trace(TraceEvent{Stage: StagePublish}) // no tracer: no-op
+	m.SetTracer(func(ev TraceEvent) { got = append(got, ev) })
+	m.Trace(TraceEvent{Stage: StagePublish, Topic: 7, Seq: 3})
+	m.SetTracer(nil)
+	m.Trace(TraceEvent{Stage: StageAck})
+	if len(got) != 1 || got[0].Topic != 7 || got[0].Seq != 3 {
+		t.Errorf("traced %v, want one publish event for topic 7 seq 3", got)
+	}
+}
+
+func TestWritePrometheusParseRoundTrip(t *testing.T) {
+	m := NewBrokerMetrics()
+	m.Publishes.Add(42)
+	m.LateDispatches.Inc()
+	m.StageDispatch.Observe(3 * time.Millisecond)
+	m.StageDispatch.Observe(7 * time.Millisecond)
+	var sb strings.Builder
+	extra := []Sample{
+		{Name: "frame_queue_depth", Value: 5, Help: "depth"},
+		{Name: "frame_role", Label: `role="primary"`, Value: 1, Help: "role"},
+	}
+	if err := m.WritePrometheus(&sb, extra); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE frame_publish_total counter",
+		"frame_publish_total 42",
+		"# TYPE frame_stage_dispatch_seconds histogram",
+		"frame_stage_dispatch_seconds_count 2",
+		`frame_role{role="primary"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := Find(samples, "frame_publish_total", ""); !ok || s.Value != 42 {
+		t.Errorf("parsed frame_publish_total = %+v ok=%v, want 42", s, ok)
+	}
+	if s, ok := Find(samples, "frame_role", `role="primary"`); !ok || s.Value != 1 {
+		t.Errorf("parsed frame_role = %+v ok=%v, want 1", s, ok)
+	}
+	if s, ok := Find(samples, "frame_stage_dispatch_seconds_bucket", `le="+Inf"`); !ok || s.Value != 2 {
+		t.Errorf("parsed +Inf bucket = %+v ok=%v, want 2", s, ok)
+	}
+	// Histogram sum is in seconds.
+	if s, ok := Find(samples, "frame_stage_dispatch_seconds_sum", ""); !ok || s.Value != 0.01 {
+		t.Errorf("parsed sum = %+v ok=%v, want 0.01", s, ok)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for _, bad := range []string{"no_value_line", "metric{unterminated 3", "metric NaNope"} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) accepted", bad)
+		}
+	}
+	samples, err := ParseText(strings.NewReader("# comment only\n\n"))
+	if err != nil || len(samples) != 0 {
+		t.Errorf("comments/blank lines: samples=%v err=%v", samples, err)
+	}
+}

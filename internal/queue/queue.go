@@ -11,6 +11,7 @@ package queue
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/spec"
@@ -243,6 +244,71 @@ func New(p Policy) Queue {
 		panic(fmt.Sprintf("queue: unknown policy %d", int(p)))
 	}
 }
+
+// Metered decorates a Queue with atomically readable depth and cumulative
+// push/pop counters per job kind, so an admin endpoint can sample queue
+// state without taking the engine lock. Push/Pop/Peek remain single-owner,
+// like the queues they wrap; only the accessors are concurrency-safe.
+type Metered struct {
+	inner    Queue
+	depth    atomic.Int64
+	maxDepth atomic.Int64
+	pushes   [2]atomic.Uint64 // indexed by Kind−1
+	pops     [2]atomic.Uint64
+}
+
+var _ Queue = (*Metered)(nil)
+
+// NewMetered wraps inner with meters.
+func NewMetered(inner Queue) *Metered { return &Metered{inner: inner} }
+
+func kindIndex(k Kind) int {
+	if k == KindReplicate {
+		return 1
+	}
+	return 0
+}
+
+// Push enqueues a job and bumps the depth and push meters.
+func (m *Metered) Push(j Job) {
+	m.inner.Push(j)
+	m.pushes[kindIndex(j.Kind)].Add(1)
+	d := m.depth.Add(1)
+	for {
+		hi := m.maxDepth.Load()
+		if d <= hi || m.maxDepth.CompareAndSwap(hi, d) {
+			return
+		}
+	}
+}
+
+// Pop removes the next job per the wrapped policy, updating the meters.
+func (m *Metered) Pop() (Job, bool) {
+	j, ok := m.inner.Pop()
+	if ok {
+		m.pops[kindIndex(j.Kind)].Add(1)
+		m.depth.Add(-1)
+	}
+	return j, ok
+}
+
+// Peek returns the next job without removing it.
+func (m *Metered) Peek() (Job, bool) { return m.inner.Peek() }
+
+// Len returns the number of queued jobs (single-owner, like the queue).
+func (m *Metered) Len() int { return m.inner.Len() }
+
+// Depth returns the current queue depth; safe to call from any goroutine.
+func (m *Metered) Depth() int64 { return m.depth.Load() }
+
+// MaxDepth returns the high-water depth since creation.
+func (m *Metered) MaxDepth() int64 { return m.maxDepth.Load() }
+
+// Pushes returns the cumulative pushes of kind k.
+func (m *Metered) Pushes(k Kind) uint64 { return m.pushes[kindIndex(k)].Load() }
+
+// Pops returns the cumulative pops of kind k.
+func (m *Metered) Pops(k Kind) uint64 { return m.pops[kindIndex(k)].Load() }
 
 // SortedEDF is a reference EDF implementation backed by a sorted slice with
 // linear insertion. It exists for the queue-implementation ablation

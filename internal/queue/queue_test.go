@@ -233,3 +233,72 @@ func benchQueue(b *testing.B, q Queue) {
 func BenchmarkEDFHeap(b *testing.B)   { benchQueue(b, NewEDF()) }
 func BenchmarkEDFSorted(b *testing.B) { benchQueue(b, NewSortedEDF()) }
 func BenchmarkFCFS(b *testing.B)      { benchQueue(b, NewFCFS()) }
+
+func TestMeteredCountsAndDepth(t *testing.T) {
+	m := NewMetered(NewEDF())
+	if m.Depth() != 0 || m.MaxDepth() != 0 {
+		t.Error("fresh meter not zero")
+	}
+	mk := func(kind Kind, d time.Duration) Job {
+		return Job{Kind: kind, Topic: 1, Deadline: d}
+	}
+	m.Push(mk(KindDispatch, 3*time.Millisecond))
+	m.Push(mk(KindReplicate, 1*time.Millisecond))
+	m.Push(mk(KindDispatch, 2*time.Millisecond))
+	if m.Depth() != 3 || m.MaxDepth() != 3 || m.Len() != 3 {
+		t.Errorf("depth=%d max=%d len=%d, want 3/3/3", m.Depth(), m.MaxDepth(), m.Len())
+	}
+	if m.Pushes(KindDispatch) != 2 || m.Pushes(KindReplicate) != 1 {
+		t.Errorf("pushes = %d/%d, want 2/1", m.Pushes(KindDispatch), m.Pushes(KindReplicate))
+	}
+	// EDF order survives the decoration.
+	j, ok := m.Pop()
+	if !ok || j.Kind != KindReplicate {
+		t.Errorf("first pop = %+v, want the 1ms replicate job", j)
+	}
+	if p, ok := m.Peek(); !ok || p.Deadline != 2*time.Millisecond {
+		t.Errorf("peek = %+v, want the 2ms job", p)
+	}
+	m.Pop()
+	m.Pop()
+	if _, ok := m.Pop(); ok {
+		t.Error("pop from empty queue succeeded")
+	}
+	if m.Depth() != 0 || m.MaxDepth() != 3 {
+		t.Errorf("after drain depth=%d max=%d, want 0/3", m.Depth(), m.MaxDepth())
+	}
+	if m.Pops(KindDispatch) != 2 || m.Pops(KindReplicate) != 1 {
+		t.Errorf("pops = %d/%d, want 2/1", m.Pops(KindDispatch), m.Pops(KindReplicate))
+	}
+}
+
+// TestMeteredConcurrentReaders drives the queue from one owner goroutine
+// while meters are read concurrently, as the admin endpoint does.
+func TestMeteredConcurrentReaders(t *testing.T) {
+	m := NewMetered(NewFCFS())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			m.Push(Job{Kind: KindDispatch})
+			if i%2 == 1 {
+				m.Pop()
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			if m.Depth() != 1000 {
+				t.Errorf("final depth = %d, want 1000", m.Depth())
+			}
+			return
+		default:
+			if d := m.Depth(); d < 0 {
+				t.Fatalf("negative depth %d", d)
+			}
+			_ = m.MaxDepth()
+			_ = m.Pushes(KindDispatch)
+		}
+	}
+}

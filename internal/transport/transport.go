@@ -18,6 +18,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -30,9 +31,20 @@ const MaxFrameSize = 4 << 20
 // ErrFrameTooLarge reports a length prefix above MaxFrameSize.
 var ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrameSize")
 
+// Meter accumulates frame and byte counts across any set of Conns. All
+// fields are atomic, so observability readers never contend with the data
+// path; one Meter is typically shared by every connection a broker owns.
+type Meter struct {
+	FramesSent atomic.Uint64
+	BytesSent  atomic.Uint64
+	FramesRecv atomic.Uint64
+	BytesRecv  atomic.Uint64
+}
+
 // Conn is a framed, typed connection carrying wire.Frames.
 type Conn struct {
-	nc net.Conn
+	nc    net.Conn
+	meter *Meter
 
 	writeMu sync.Mutex
 	wbuf    []byte
@@ -44,6 +56,10 @@ type Conn struct {
 
 // NewConn wraps a net.Conn with frame codecs.
 func NewConn(nc net.Conn) *Conn { return &Conn{nc: nc} }
+
+// SetMeter attaches a traffic meter. Call before the connection is shared
+// between goroutines; a nil meter disables counting.
+func (c *Conn) SetMeter(m *Meter) { c.meter = m }
 
 // Send encodes and writes one frame. Safe for concurrent use.
 func (c *Conn) Send(f *wire.Frame) error {
@@ -64,6 +80,10 @@ func (c *Conn) Send(f *wire.Frame) error {
 	}
 	if _, err := c.nc.Write(body); err != nil {
 		return fmt.Errorf("transport: write body: %w", err)
+	}
+	if c.meter != nil {
+		c.meter.FramesSent.Add(1)
+		c.meter.BytesSent.Add(uint64(4 + len(body)))
 	}
 	return nil
 }
@@ -89,6 +109,10 @@ func (c *Conn) Recv() (*wire.Frame, error) {
 	f, err := wire.Decode(body)
 	if err != nil {
 		return nil, fmt.Errorf("transport: decode: %w", err)
+	}
+	if c.meter != nil {
+		c.meter.FramesRecv.Add(1)
+		c.meter.BytesRecv.Add(uint64(4 + n))
 	}
 	return f, nil
 }

@@ -334,3 +334,35 @@ func BenchmarkSendRecvTCP(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+func TestConnMeter(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+	var meter Meter
+	ca.SetMeter(&meter)
+	cb.SetMeter(&meter)
+
+	f := &wire.Frame{Type: wire.TypePoll, Nonce: 42}
+	errc := make(chan error, 1)
+	go func() { errc <- ca.Send(f) }()
+	got, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if got.Nonce != 42 {
+		t.Fatalf("nonce = %d", got.Nonce)
+	}
+	if meter.FramesSent.Load() != 1 || meter.FramesRecv.Load() != 1 {
+		t.Errorf("frames sent/recv = %d/%d, want 1/1",
+			meter.FramesSent.Load(), meter.FramesRecv.Load())
+	}
+	sent, recv := meter.BytesSent.Load(), meter.BytesRecv.Load()
+	if sent == 0 || sent != recv {
+		t.Errorf("bytes sent/recv = %d/%d, want equal and non-zero", sent, recv)
+	}
+}
