@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short cover bench repro fuzz fmt fmtcheck vet ci clean
+.PHONY: all build test race short cover cover-check bench bench-compare repro fuzz fmt fmtcheck vet ci clean
 
 all: build vet fmtcheck test
 
@@ -24,9 +24,33 @@ race:
 cover:
 	$(GO) test -short -cover ./...
 
+# Coverage ratchet over the packages the dispatch-lane work hardens. The
+# floor only moves up: raise COVER_MIN when coverage durably improves.
+COVER_PKGS = ./internal/queue/ ./internal/broker/ ./internal/transport/
+COVER_MIN ?= 84.0
+cover-check:
+	$(GO) test -coverprofile=coverage.out $(COVER_PKGS)
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "total coverage: $$total% (ratchet floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { exit (t+0 >= m+0) ? 0 : 1 }' || \
+		{ echo "coverage $$total% fell below the $(COVER_MIN)% ratchet" >&2; exit 1; }
+
 # Regenerate every paper table/figure plus ablations (minutes).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Lane-scaling regression guard: repeat BenchmarkDispatchLanes{1,4,8} and
+# summarize with benchstat when it is installed (raw output otherwise; the
+# acceptance bar is ≥2x ns/op at 8 lanes vs 1 on a multi-core runner).
+BENCH_COUNT ?= 6
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkDispatchLanes' -count $(BENCH_COUNT) . | tee dispatch_lanes.bench
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat dispatch_lanes.bench; \
+	else \
+		echo "benchstat not installed; raw samples are in dispatch_lanes.bench"; \
+		echo "(go install golang.org/x/perf/cmd/benchstat@latest to summarize)"; \
+	fi
 
 # Same via the CLI harness, with CSV artifacts.
 repro:
@@ -48,4 +72,4 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -rf artifacts test_output.txt bench_output.txt
+	rm -rf artifacts test_output.txt bench_output.txt coverage.out dispatch_lanes.bench

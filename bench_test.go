@@ -18,13 +18,19 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/diskstore"
 	"repro/internal/experiments"
+	"repro/internal/queue"
 	"repro/internal/simcluster"
 	"repro/internal/spec"
+	"repro/internal/timing"
+	"repro/internal/wire"
 )
 
 func benchConfig() experiments.Config {
@@ -273,3 +279,156 @@ func BenchmarkTable1StrategyComparison(b *testing.B) {
 		b.ReportMetric(float64(always)/float64(hop), "fsync-vs-hop-x")
 	}
 }
+
+// benchmarkDispatchLanes drives the sharded engine exactly the way the
+// broker's lane workers do — one goroutine per lane pushing its topics'
+// messages and draining its own EDF heap under a per-lane mutex — and
+// asserts per-topic FIFO on every dispatch. Lanes share nothing, so the
+// ns/op ratio between the 1-, 4-, and 8-lane variants is the lane-scaling
+// headroom of the dispatch path on this machine (on a single-core runner
+// all variants collapse to the same schedule).
+func benchmarkDispatchLanes(b *testing.B, lanes int) {
+	const topicCount = 64
+	const chunkPerTopic = 512
+	eng, err := core.New(core.Config{
+		Params: timing.Params{
+			DeltaBSEdge:  time.Millisecond,
+			DeltaBSCloud: time.Millisecond,
+			DeltaBB:      time.Millisecond,
+			Failover:     50 * time.Millisecond,
+		},
+		Policy:           queue.PolicyEDF,
+		Lanes:            lanes,
+		MessageBufferCap: chunkPerTopic,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	laneTopics := make([][]spec.TopicID, lanes)
+	for i := 0; i < topicCount; i++ {
+		tp := spec.Topic{
+			ID: spec.TopicID(i + 1), Category: -1,
+			Period: 20 * time.Millisecond, Deadline: time.Second,
+			Retention: 8, Destination: spec.DestEdge, PayloadSize: 16,
+		}
+		if err := eng.AddTopic(tp); err != nil {
+			b.Fatal(err)
+		}
+		l := eng.LaneFor(tp.ID)
+		laneTopics[l] = append(laneTopics[l], tp.ID)
+	}
+	laneMu := make([]sync.Mutex, lanes)
+	// Each topic is owned end-to-end by one lane's single goroutine, so the
+	// per-topic counters need no synchronization.
+	lastSeq := make([]uint64, topicCount+1)
+	nextSeq := make([]uint64, topicCount+1)
+	var now atomic.Int64 // synthetic clock: created times stay monotone
+	var sink atomic.Uint64
+
+	b.ResetTimer()
+	remaining := b.N
+	for remaining > 0 {
+		// Cap the chunk so per-topic in-flight stays within the Message
+		// Buffer — an evicted entry would break the FIFO assertion.
+		per := chunkPerTopic
+		if need := (remaining + topicCount - 1) / topicCount; need < per {
+			per = need
+		}
+		laneQuota := make([]int, lanes)
+		left := remaining
+		for l := 0; l < lanes && left > 0; l++ {
+			q := per * len(laneTopics[l])
+			if q > left {
+				q = left
+			}
+			laneQuota[l] = q
+			left -= q
+		}
+		pushed := remaining - left
+		var wg sync.WaitGroup
+		for l := 0; l < lanes; l++ {
+			if laneQuota[l] == 0 {
+				continue
+			}
+			l := l
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Push this lane's share, then drain this lane. Both halves
+				// touch only this lane's mutex — the broker's worker contract.
+				budget := laneQuota[l]
+				for _, id := range laneTopics[l] {
+					n := per
+					if n > budget {
+						n = budget
+					}
+					budget -= n
+					for k := 0; k < n; k++ {
+						nextSeq[id]++
+						m := wire.Message{
+							Topic: id, Seq: nextSeq[id],
+							Created: time.Duration(now.Add(1)),
+						}
+						laneMu[l].Lock()
+						err := eng.OnPublish(m, m.Created)
+						laneMu[l].Unlock()
+						if err != nil {
+							b.Errorf("publish: %v", err)
+							return
+						}
+					}
+					if budget == 0 {
+						break
+					}
+				}
+				for {
+					laneMu[l].Lock()
+					w, ok := eng.NextWorkLane(l)
+					laneMu[l].Unlock()
+					if !ok {
+						return
+					}
+					if w.Kind != core.WorkDispatch {
+						continue
+					}
+					if w.Msg.Seq != lastSeq[w.Msg.Topic]+1 {
+						b.Errorf("topic %d dispatched seq %d after %d (FIFO broken)",
+							w.Msg.Topic, w.Msg.Seq, lastSeq[w.Msg.Topic])
+						return
+					}
+					lastSeq[w.Msg.Topic] = w.Msg.Seq
+					// Synthetic per-dispatch work standing in for frame
+					// encode + fan-out, so the bench measures a realistic
+					// mix of queue ops and CPU rather than pure heap churn.
+					h := w.Msg.Seq
+					for s := 0; s < 64; s++ {
+						h ^= h << 13
+						h ^= h >> 7
+						h ^= h << 17
+					}
+					sink.Add(h)
+					laneMu[l].Lock()
+					eng.OnDispatched(w.Job)
+					laneMu[l].Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		remaining -= pushed
+		if pushed == 0 {
+			break
+		}
+	}
+	b.StopTimer()
+	if stats := eng.Stats(); stats.Published == 0 {
+		b.Fatal("benchmark published nothing")
+	}
+	_ = sink.Load()
+}
+
+// BenchmarkDispatchLanes{1,4,8} are the lane-scaling regression guard; see
+// `make bench-compare` for the benchstat workflow. Acceptance: ≥2x ns/op
+// improvement at 8 lanes vs 1 on a multi-core runner.
+func BenchmarkDispatchLanes1(b *testing.B) { benchmarkDispatchLanes(b, 1) }
+func BenchmarkDispatchLanes4(b *testing.B) { benchmarkDispatchLanes(b, 4) }
+func BenchmarkDispatchLanes8(b *testing.B) { benchmarkDispatchLanes(b, 8) }

@@ -47,7 +47,9 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table4, table5, fig7, fig8, fig9, multiedge, or all")
+		exp     = flag.String("exp", "all", "experiment: table4, table5, fig7, fig8, fig9, multiedge, lanescale, or all")
+		lanes   = flag.String("lanes", "", "lanescale: comma-separated lane counts to sweep (default 1,2,4,8)")
+		batch   = flag.Duration("batch", 0, "lanescale: write-batch window for the swept brokers (0 = off)")
 		runs    = flag.Int("runs", 0, "repetitions per cell (default 5; paper used 10)")
 		measure = flag.Duration("measure", 0, "fault-free measurement window (default 4s; paper used 60s)")
 		crash   = flag.Duration("crash", 0, "crash-run window, crash at midpoint (default 8s)")
@@ -85,6 +87,13 @@ func run() error {
 		{"fig8", func() (formatter, error) { return experiments.RunFig8(cfg) }},
 		{"fig9", func() (formatter, error) { return experiments.RunFig9(cfg) }},
 		{"multiedge", func() (formatter, error) { return experiments.RunMultiEdge(cfg) }},
+		{"lanescale", func() (formatter, error) {
+			sweep, err := parseLanes(*lanes)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RunLaneScale(cfg, experiments.LaneScaleOptions{Lanes: sweep, Batch: *batch})
+		}},
 	}
 
 	matched := *exp == "none" // -exp none: scrape-only invocation
@@ -106,7 +115,7 @@ func run() error {
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown -exp %q (want table4, table5, fig7, fig8, fig9, multiedge, all, or none)", *exp)
+		return fmt.Errorf("unknown -exp %q (want table4, table5, fig7, fig8, fig9, multiedge, lanescale, all, or none)", *exp)
 	}
 	if *scrape != "" {
 		if err := scrapeMetrics(*scrape, *csvDir); err != nil {
@@ -114,6 +123,22 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// parseLanes turns "-lanes 1,4,8" into a sweep; empty keeps the default.
+func parseLanes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -lanes entry %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // scrapeMetrics pulls one Prometheus exposition off a live broker's admin

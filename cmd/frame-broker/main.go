@@ -39,6 +39,9 @@ func run() error {
 		topicsPath = flag.String("topics", "", "topic spec file (required)")
 		config     = flag.String("config", "frame", "scheduling configuration: frame, fcfs, or fcfs-")
 		workers    = flag.Int("workers", 0, "delivery worker threads (0 = 3×GOMAXPROCS, the paper's sizing)")
+		lanes      = flag.Int("lanes", 0, "parallel dispatch lanes; topics hash onto lanes, EDF order holds within each (0 = GOMAXPROCS for EDF, 1 for FCFS)")
+		batch      = flag.Duration("batch", 0, "write-batch window: coalesce dispatch/replicate frames up to this long per connection; keep below the minimum topic slack (0 = off)")
+		batchBytes = flag.Int("batch-bytes", 0, "flush a write batch early at this many pending bytes (0 = default 32KiB)")
 		bsEdge     = flag.Duration("bs-edge", time.Millisecond, "ΔBS for edge subscribers")
 		bsCloud    = flag.Duration("bs-cloud", 20*time.Millisecond, "ΔBS for cloud subscribers")
 		bb         = flag.Duration("bb", 50*time.Microsecond, "ΔBB broker→backup latency")
@@ -99,6 +102,9 @@ func run() error {
 		Network:       frame.NewTCPNetwork(2 * time.Second),
 		Clock:         frame.NewClock(),
 		Workers:       *workers,
+		Lanes:         *lanes,
+		BatchWindow:   *batch,
+		BatchMaxBytes: *batchBytes,
 		Topics:        topics,
 		Logger:        logger,
 		DiskBackupDir: *diskDir,

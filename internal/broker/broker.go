@@ -77,8 +77,26 @@ type Options struct {
 	// deployment must be synchronized (see package clocksync).
 	Clock clocksync.Clock
 	// Workers sets the delivery pool size; zero means 3×GOMAXPROCS, the
-	// paper's sizing.
+	// paper's sizing. Workers are spread round-robin over the dispatch
+	// lanes; the pool is raised to at least one worker per lane.
 	Workers int
+	// Lanes shards the engine's EDF queue and topic state into this many
+	// parallel dispatch lanes (see core.Config.Lanes): topics hash onto
+	// lanes, each lane has its own lock, condition variable, and workers,
+	// and per-topic FIFO plus EDF-within-lane are preserved. Zero means
+	// GOMAXPROCS under the EDF policy and 1 otherwise; 1 restores the
+	// single global queue.
+	Lanes int
+	// BatchWindow enables write batching on broker-owned connections
+	// (subscriber fan-out and the replication link): dispatch, replicate,
+	// and prune frames coalesce for up to this long — or until
+	// BatchMaxBytes are pending — and leave in one write. The window is
+	// added latency on the data plane, so keep it below the minimum
+	// per-topic slack. Zero disables batching.
+	BatchWindow time.Duration
+	// BatchMaxBytes is the flush-on-size threshold for BatchWindow
+	// batching; zero means transport.DefaultBatchMaxBytes.
+	BatchMaxBytes int
 	// Detector tunes the Backup's failure detector; zero-value means
 	// failover.DefaultConfig.
 	Detector failover.Config
@@ -120,12 +138,17 @@ type Broker struct {
 	// detector probe succeeded. Primaries report the replication link instead.
 	peerAlive atomic.Bool
 
+	// mu guards role only. The engine itself is guarded per lane: a call
+	// naming a topic runs under that topic's lane lock, and whole-engine
+	// transitions (Promote) take every lane lock — see the core package
+	// comment for the contract.
 	mu       sync.Mutex
-	cond     *sync.Cond
 	engine   *core.Engine
 	role     Role
 	promoted chan struct{} // closed on promotion
-	stopping bool
+	stopping atomic.Bool
+
+	lanes []*dispatchLane
 
 	subsMu sync.Mutex
 	subs   map[spec.TopicID][]*transport.Conn
@@ -140,6 +163,38 @@ type Broker struct {
 
 	diskMu sync.Mutex
 	disk   *diskstore.Log // optional durable replica log (Backup role)
+}
+
+// dispatchLane is one shard of the delivery path: its mutex guards the
+// lane's segment of the job queue and the ring-buffer state of every topic
+// hashing to it, its condition variable wakes the lane's workers, and its
+// meters feed the per-lane observability gauges.
+type dispatchLane struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// wait records enqueue→pop queue wait for jobs popped from this lane;
+	// pops counts them. Both are scrape-safe atomics.
+	wait *obsv.Histogram
+	pops atomic.Uint64
+}
+
+// lane returns the dispatch lane owning the topic's state.
+func (b *Broker) lane(id spec.TopicID) *dispatchLane {
+	return b.lanes[b.engine.LaneFor(id)]
+}
+
+// lockAllLanes acquires every lane lock in index order (the one rule that
+// keeps multi-lane acquisition deadlock-free: workers only ever hold one).
+func (b *Broker) lockAllLanes() {
+	for _, l := range b.lanes {
+		l.mu.Lock()
+	}
+}
+
+func (b *Broker) unlockAllLanes() {
+	for i := len(b.lanes) - 1; i >= 0; i-- {
+		b.lanes[i].mu.Unlock()
+	}
 }
 
 // New creates a broker, registers its topics, and binds its listener (so
@@ -160,6 +215,24 @@ func New(opts Options) (*Broker, error) {
 	if opts.Workers < 0 {
 		return nil, fmt.Errorf("broker: negative workers %d", opts.Workers)
 	}
+	if opts.Lanes < 0 {
+		return nil, fmt.Errorf("broker: negative lanes %d", opts.Lanes)
+	}
+	if opts.Lanes == 0 {
+		if opts.Engine.Policy == queue.PolicyEDF {
+			opts.Lanes = runtime.GOMAXPROCS(0)
+		} else {
+			// FCFS is a global arrival order; sharding would change it.
+			opts.Lanes = 1
+		}
+	}
+	if opts.Workers < opts.Lanes {
+		// Every lane needs a dedicated worker or its jobs starve.
+		opts.Workers = opts.Lanes
+	}
+	if opts.BatchWindow < 0 {
+		return nil, fmt.Errorf("broker: negative batch window %v", opts.BatchWindow)
+	}
 	if opts.Detector == (failover.Config{}) {
 		opts.Detector = failover.DefaultConfig()
 	}
@@ -178,6 +251,7 @@ func New(opts Options) (*Broker, error) {
 	// Queue meters let the admin endpoint report depth without the engine
 	// lock; the atomics are cheap enough to leave on unconditionally.
 	engineCfg.MeterQueue = true
+	engineCfg.Lanes = opts.Lanes
 	engine, err := core.New(engineCfg)
 	if err != nil {
 		return nil, err
@@ -206,7 +280,12 @@ func New(opts Options) (*Broker, error) {
 		promoted: make(chan struct{}),
 		subs:     make(map[spec.TopicID][]*transport.Conn),
 	}
-	b.cond = sync.NewCond(&b.mu)
+	b.lanes = make([]*dispatchLane, engine.Lanes())
+	for i := range b.lanes {
+		l := &dispatchLane{wait: obsv.NewHistogram()}
+		l.cond = sync.NewCond(&l.mu)
+		b.lanes[i] = l
+	}
 	if opts.AdminAddr != "" {
 		admin, err := obsv.NewAdmin(opts.AdminAddr, obs, b.Health, b.scrapeGauges)
 		if err != nil {
@@ -290,7 +369,7 @@ func (b *Broker) Health() obsv.Health {
 func (b *Broker) scrapeGauges() []obsv.Sample {
 	qm := b.engine.QueueMeter()
 	role := b.Role()
-	return []obsv.Sample{
+	samples := []obsv.Sample{
 		{Name: "frame_role", Label: fmt.Sprintf("role=%q", role.String()), Value: 1,
 			Help: "Current fault-tolerance role (1 for the active label)."},
 		{Name: "frame_uptime_seconds", Value: time.Since(b.started).Seconds(),
@@ -315,7 +394,21 @@ func (b *Broker) scrapeGauges() []obsv.Sample {
 			Value: float64(b.meter.FramesRecv.Load()), Help: "Wire frames received on broker-owned connections."},
 		{Name: "frame_transport_bytes_recv_total", Counter: true,
 			Value: float64(b.meter.BytesRecv.Load()), Help: "Wire bytes received on broker-owned connections."},
+		{Name: "frame_lanes", Value: float64(len(b.lanes)),
+			Help: "Configured dispatch lane count."},
 	}
+	for i, l := range b.lanes {
+		label := fmt.Sprintf("lane=%q", fmt.Sprint(i))
+		samples = append(samples,
+			obsv.Sample{Name: "frame_lane_queue_depth", Label: label,
+				Value: float64(qm.LaneDepth(i)), Help: "Jobs pending, by dispatch lane."},
+			obsv.Sample{Name: "frame_lane_pops_total", Label: label, Counter: true,
+				Value: float64(l.pops.Load()), Help: "Jobs popped, by dispatch lane."},
+			obsv.Sample{Name: "frame_lane_queue_wait_p99_seconds", Label: label,
+				Value: l.wait.Quantile(0.99).Seconds(), Help: "p99 enqueue-to-pop wait, by dispatch lane."},
+		)
+	}
+	return samples
 }
 
 // Role returns the broker's current role (Backup becomes Primary after
@@ -329,12 +422,12 @@ func (b *Broker) Role() Role {
 // Promoted returns a channel closed when a Backup promotes itself.
 func (b *Broker) Promoted() <-chan struct{} { return b.promoted }
 
-// Stats snapshots the engine counters.
-func (b *Broker) Stats() core.Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.engine.Stats()
-}
+// Stats snapshots the engine counters. The counters are atomics, so the
+// snapshot is safe — and lock-free — while lane workers are mutating them.
+func (b *Broker) Stats() core.Stats { return b.engine.Stats() }
+
+// Lanes returns the number of dispatch lanes the broker is running.
+func (b *Broker) Lanes() int { return len(b.lanes) }
 
 // LateDispatches reports dispatch jobs that began executing past their
 // deadline since the broker started.
@@ -362,10 +455,11 @@ func (b *Broker) Start() {
 		b.acceptLoop(ctx)
 	}()
 	for i := 0; i < b.opts.Workers; i++ {
+		lane := i % len(b.lanes) // round-robin: every lane gets ≥ 1 worker
 		b.wg.Add(1)
 		go func() {
 			defer b.wg.Done()
-			b.workerLoop()
+			b.workerLoop(lane)
 		}()
 	}
 	if b.opts.Role == RolePrimary && b.opts.PeerAddr != "" {
@@ -403,10 +497,14 @@ func (b *Broker) Stop() {
 	if b.cancel != nil {
 		b.cancel()
 	}
-	b.mu.Lock()
-	b.stopping = true
-	b.cond.Broadcast()
-	b.mu.Unlock()
+	b.stopping.Store(true)
+	for _, l := range b.lanes {
+		// Broadcast under the lane lock so a worker between its stopping
+		// check and cond.Wait cannot miss the wakeup.
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
 	b.ln.Close()
 	if b.admin != nil {
 		if err := b.admin.Close(); err != nil {
@@ -456,6 +554,7 @@ func (b *Broker) acceptLoop(ctx context.Context) {
 		}
 		conn := transport.NewConn(nc)
 		conn.SetMeter(&b.meter)
+		b.enableBatching(conn)
 		b.wg.Add(1)
 		go func() {
 			defer b.wg.Done()
@@ -506,9 +605,10 @@ func (b *Broker) handleFrame(conn *transport.Conn, f *wire.Frame) error {
 		return nil
 	case wire.TypePrune:
 		b.obs.PrunesReceived.Inc()
-		b.mu.Lock()
+		lane := b.lane(f.Topic)
+		lane.mu.Lock()
 		b.engine.OnPrune(f.Topic, f.Seq)
-		b.mu.Unlock()
+		lane.mu.Unlock()
 		return nil
 	case wire.TypePoll:
 		return conn.Send(&wire.Frame{Type: wire.TypePollReply, Nonce: f.Nonce})
@@ -521,15 +621,19 @@ func (b *Broker) handleFrame(conn *transport.Conn, f *wire.Frame) error {
 	}
 }
 
-// onPublish is the Message Proxy path: store, generate jobs, wake workers.
+// onPublish is the Message Proxy path: store, generate jobs, wake the
+// topic's lane.
 func (b *Broker) onPublish(m wire.Message) error {
 	now := b.opts.Clock()
-	b.mu.Lock()
+	lane := b.lane(m.Topic)
+	lane.mu.Lock()
 	err := b.engine.OnPublish(m, now)
 	if err == nil {
-		b.cond.Broadcast()
+		// One publish enqueues up to two jobs (dispatch + replicate), so
+		// wake every worker of the lane, not just one.
+		lane.cond.Broadcast()
 	}
-	b.mu.Unlock()
+	lane.mu.Unlock()
 	if err != nil {
 		b.obs.PublishRejected.Inc()
 		return err
@@ -551,9 +655,10 @@ func (b *Broker) onReplica(f *wire.Frame) error {
 		}
 	}
 	b.diskMu.Unlock()
-	b.mu.Lock()
+	lane := b.lane(f.Msg.Topic)
+	lane.mu.Lock()
 	err := b.engine.OnReplica(f.Msg, f.ArrivedPrimary)
-	b.mu.Unlock()
+	lane.mu.Unlock()
 	if err == nil {
 		b.obs.ReplicasStored.Inc()
 	}
@@ -588,29 +693,34 @@ func (b *Broker) removeSubscriber(conn *transport.Conn) {
 	}
 }
 
-// workerLoop is one Message Delivery thread: it pops resolved work under
-// the engine lock and performs the network sends outside it.
-func (b *Broker) workerLoop() {
+// workerLoop is one Message Delivery thread pinned to one dispatch lane: it
+// pops resolved work under the lane lock and performs the network sends
+// outside it. Lanes share nothing on this path, so GOMAXPROCS lanes drive
+// GOMAXPROCS cores without contending.
+func (b *Broker) workerLoop(laneIdx int) {
+	lane := b.lanes[laneIdx]
 	for {
-		b.mu.Lock()
+		lane.mu.Lock()
 		var w core.Work
 		var ok bool
 		for {
-			if b.stopping {
-				b.mu.Unlock()
+			if b.stopping.Load() {
+				lane.mu.Unlock()
 				return
 			}
-			w, ok = b.engine.NextWork()
+			w, ok = b.engine.NextWorkLane(laneIdx)
 			if ok {
 				break
 			}
-			b.cond.Wait()
+			lane.cond.Wait()
 		}
-		b.mu.Unlock()
+		lane.mu.Unlock()
 
 		// Stage accounting: queue wait is enqueue (job release) → pop; the
 		// per-kind stage histograms then cover pop → network sends done.
 		popped := b.opts.Clock()
+		lane.pops.Add(1)
+		lane.wait.Observe(popped - w.Job.Release)
 		b.obs.StageQueueWait.Observe(popped - w.Job.Release)
 		b.obs.Trace(obsv.TraceEvent{Stage: obsv.StagePop, Topic: uint64(w.Msg.Topic), Seq: w.Msg.Seq, At: popped})
 		switch w.Kind {
@@ -651,9 +761,10 @@ func (b *Broker) dispatch(w core.Work) {
 		b.obs.DispatchSends.Inc()
 	}
 
-	b.mu.Lock()
+	lane := b.lane(w.Msg.Topic)
+	lane.mu.Lock()
 	co := b.engine.OnDispatched(w.Job)
-	b.mu.Unlock()
+	lane.mu.Unlock()
 	if co.SendPrune {
 		if peer := b.peer(); peer != nil {
 			if err := peer.Send(&wire.Frame{Type: wire.TypePrune, Topic: co.Topic, Seq: co.Seq}); err != nil {
@@ -680,9 +791,10 @@ func (b *Broker) replicate(w core.Work) {
 		return
 	}
 	b.obs.Replicates.Inc()
-	b.mu.Lock()
+	lane := b.lane(w.Msg.Topic)
+	lane.mu.Lock()
 	b.engine.OnReplicated(w.Job)
-	b.mu.Unlock()
+	lane.mu.Unlock()
 }
 
 func (b *Broker) peer() *transport.Conn {
@@ -699,11 +811,22 @@ func (b *Broker) dialPeer() (*transport.Conn, error) {
 	}
 	conn := transport.NewConn(nc)
 	conn.SetMeter(&b.meter)
+	b.enableBatching(conn)
 	if err := conn.Send(&wire.Frame{Type: wire.TypeHello, Role: wire.RoleBrokerPeer, Name: b.Addr()}); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	return conn, nil
+}
+
+// enableBatching turns on write coalescing for a broker-owned data-plane
+// connection when Options.BatchWindow is set. The failure-detector polling
+// link stays unbatched: its frames are control-plane and write through
+// anyway.
+func (b *Broker) enableBatching(conn *transport.Conn) {
+	if b.opts.BatchWindow > 0 {
+		conn.EnableBatching(b.opts.BatchWindow, b.opts.BatchMaxBytes)
+	}
 }
 
 func (b *Broker) setPeer(conn *transport.Conn) {
@@ -799,10 +922,19 @@ func (b *Broker) promote() {
 		return
 	}
 	b.role = RolePrimary
+	b.mu.Unlock()
+	// Promote rewrites whole-engine state (every topic's replication
+	// verdict plus recovery jobs pushed into every lane), so it is the one
+	// transition that takes all lane locks. Workers hold at most one lane
+	// lock and never acquire a second, so the index-ordered sweep cannot
+	// deadlock.
+	b.lockAllLanes()
 	b.engine.Promote()
 	stats := b.engine.Stats()
-	b.cond.Broadcast()
-	b.mu.Unlock()
+	for _, l := range b.lanes {
+		l.cond.Broadcast()
+	}
+	b.unlockAllLanes()
 	close(b.promoted)
 	b.obs.Promotions.Inc()
 	b.obs.RecoveryJobs.Add(stats.RecoveryJobs)

@@ -12,11 +12,27 @@
 // package simcluster (virtual time). Keeping the contribution here, behind
 // a synchronous API, is what lets both stacks share one implementation.
 //
-// The engine is not safe for concurrent use; runtimes serialize access.
+// Concurrency: with Config.Lanes ≤ 1 the engine is not safe for concurrent
+// use; runtimes serialize access, as before. With Lanes > 1 the job queue
+// and the per-topic state shard by topic hash (queue.LaneFor) into
+// independent dispatch lanes, and the engine supports lane-parallel use
+// under the following contract, which package broker implements with one
+// mutex per lane:
+//
+//   - AddTopic completes before any concurrent use.
+//   - Calls that name a topic (OnPublish, OnReplica, OnPrune, OnDispatched,
+//     OnReplicated, BackupBufferLen) run under the lock of that topic's
+//     lane (LaneFor).
+//   - NextWorkLane(l) runs under lane l's lock and only returns work for
+//     topics of lane l.
+//   - Promote and whole-queue calls (NextWork, QueueLen, PeekDeadline) run
+//     with every lane lock held.
+//   - Stats is safe anywhere: all activity counters are atomic.
 package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/queue"
@@ -68,6 +84,13 @@ type Config struct {
 	// broker runtime enables this for its admin endpoint; the simulator
 	// leaves it off.
 	MeterQueue bool
+	// Lanes shards the EDF job queue and the engine's topic state into this
+	// many parallel dispatch lanes keyed by topic hash (queue.LaneFor). The
+	// per-topic deadlines of Lemmas 1–2 are independent across topics, so
+	// EDF-within-lane preserves every per-topic guarantee while lanes run
+	// concurrently (see the package comment for the locking contract).
+	// 0 or 1 keeps the single global queue; values > 1 require PolicyEDF.
+	Lanes int
 }
 
 // Default buffer capacities.
@@ -88,6 +111,12 @@ func (c Config) Validate() error {
 	}
 	if c.MessageBufferCap < 0 || c.BackupBufferCap < 0 {
 		return fmt.Errorf("core: negative buffer capacity")
+	}
+	if c.Lanes < 0 {
+		return fmt.Errorf("core: negative lane count %d", c.Lanes)
+	}
+	if c.Lanes > 1 && c.Policy != queue.PolicyEDF {
+		return fmt.Errorf("core: %d lanes require the EDF policy, got %v", c.Lanes, c.Policy)
 	}
 	return nil
 }
@@ -202,15 +231,51 @@ type Stats struct {
 	EvictedMessages  uint64 // Message Buffer evictions (ring wrap-around)
 }
 
+// engineStats is the live, atomic form of Stats. Lane workers on different
+// lanes increment these concurrently, and runtimes snapshot them without
+// any lock (Broker.Stats, the admin endpoint's scrape), so every counter is
+// an atomic add rather than a plain word.
+type engineStats struct {
+	published        atomic.Uint64
+	dispatchJobs     atomic.Uint64
+	replicationJobs  atomic.Uint64
+	suppressedTopics atomic.Uint64
+	abortedReplicas  atomic.Uint64
+	prunesSent       atomic.Uint64
+	prunesApplied    atomic.Uint64
+	replicasStored   atomic.Uint64
+	recoveryJobs     atomic.Uint64
+	recoverySkipped  atomic.Uint64
+	evictedMessages  atomic.Uint64
+}
+
+func (s *engineStats) snapshot() Stats {
+	return Stats{
+		Published:        s.published.Load(),
+		DispatchJobs:     s.dispatchJobs.Load(),
+		ReplicationJobs:  s.replicationJobs.Load(),
+		SuppressedTopics: s.suppressedTopics.Load(),
+		AbortedReplicas:  s.abortedReplicas.Load(),
+		PrunesSent:       s.prunesSent.Load(),
+		PrunesApplied:    s.prunesApplied.Load(),
+		ReplicasStored:   s.replicasStored.Load(),
+		RecoveryJobs:     s.recoveryJobs.Load(),
+		RecoverySkipped:  s.recoverySkipped.Load(),
+		EvictedMessages:  s.evictedMessages.Load(),
+	}
+}
+
 // Engine is the FRAME broker state machine. One Engine instance plays one
 // role at a time: Primary (OnPublish/OnDispatched/OnReplicated) or Backup
 // (OnReplica/OnPrune), switching roles at Promote.
 type Engine struct {
-	cfg    Config
-	topics map[spec.TopicID]*topicState
-	jobs   queue.Queue
-	meter  *queue.Metered // non-nil iff cfg.MeterQueue
-	stats  Stats
+	cfg     Config
+	lanes   int
+	topics  map[spec.TopicID]*topicState
+	jobs    queue.Queue
+	sharded *queue.ShardedEDF // non-nil iff lanes > 1
+	meter   *queue.Metered    // non-nil iff cfg.MeterQueue
+	stats   engineStats
 }
 
 // New returns an engine with no topics.
@@ -224,10 +289,19 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.BackupBufferCap == 0 {
 		cfg.BackupBufferCap = DefaultBackupBufferCap
 	}
+	if cfg.Lanes < 1 {
+		cfg.Lanes = 1
+	}
 	e := &Engine{
 		cfg:    cfg,
+		lanes:  cfg.Lanes,
 		topics: make(map[spec.TopicID]*topicState),
-		jobs:   queue.New(cfg.Policy),
+	}
+	if e.lanes > 1 {
+		e.sharded = queue.NewShardedEDF(e.lanes)
+		e.jobs = e.sharded
+	} else {
+		e.jobs = queue.New(cfg.Policy)
 	}
 	if cfg.MeterQueue {
 		e.meter = queue.NewMetered(e.jobs)
@@ -236,11 +310,19 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// Lanes returns the number of dispatch lanes (1 without sharding).
+func (e *Engine) Lanes() int { return e.lanes }
+
+// LaneFor returns the dispatch lane the topic's jobs route to.
+func (e *Engine) LaneFor(id spec.TopicID) int { return queue.LaneFor(id, e.lanes) }
+
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Stats returns a snapshot of the activity counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the activity counters. Unlike most Engine
+// methods it is safe to call from any goroutine without holding lane locks:
+// every counter is atomic.
+func (e *Engine) Stats() Stats { return e.stats.snapshot() }
 
 // QueueLen returns the number of pending jobs.
 func (e *Engine) QueueLen() int { return e.jobs.Len() }
@@ -273,7 +355,7 @@ func (e *Engine) AddTopic(t spec.Topic) error {
 	}
 	st.replicate = e.needsReplication(t)
 	if !st.replicate && !t.BestEffort() {
-		e.stats.SuppressedTopics++
+		e.stats.suppressedTopics.Add(1)
 	}
 	e.topics[t.ID] = st
 	return nil
@@ -334,11 +416,11 @@ func (e *Engine) OnPublish(m wire.Message, now time.Duration) error {
 	if !ok {
 		return fmt.Errorf("core: publish to unknown topic %d", m.Topic)
 	}
-	e.stats.Published++
+	e.stats.published.Add(1)
 	ent := entry{msg: m, arrivedPrimary: now}
 	idx, evicted := st.buffer.Push(ent)
 	if evicted {
-		e.stats.EvictedMessages++
+		e.stats.evictedMessages.Add(1)
 	}
 
 	dispatch := queue.Job{
@@ -360,9 +442,9 @@ func (e *Engine) OnPublish(m wire.Message, now time.Duration) error {
 			Deadline:    deadlineOrMax(m.Created, st.replicationPseudo),
 		}
 		replicate = &j
-		e.stats.ReplicationJobs++
+		e.stats.replicationJobs.Add(1)
 	}
-	e.stats.DispatchJobs++
+	e.stats.dispatchJobs.Add(1)
 
 	if replicate != nil && e.cfg.ReplicateFirst {
 		e.jobs.Push(*replicate)
@@ -423,6 +505,47 @@ func (e *Engine) NextWork() (Work, bool) {
 	}
 }
 
+// NextWorkLane pops the next job of one dispatch lane and resolves it like
+// NextWork. It must run under the lane's lock (see the package comment) and
+// never touches the state of other lanes' topics. With Lanes ≤ 1 it behaves
+// exactly like NextWork regardless of the lane argument.
+func (e *Engine) NextWorkLane(lane int) (Work, bool) {
+	if e.sharded == nil {
+		return e.NextWork()
+	}
+	for {
+		var j queue.Job
+		var ok bool
+		if e.meter != nil {
+			j, ok = e.meter.PopLane(lane)
+		} else {
+			j, ok = e.sharded.PopLane(lane)
+		}
+		if !ok {
+			return Work{}, false
+		}
+		w := e.resolve(j)
+		if w.Kind == WorkNone {
+			continue
+		}
+		return w, true
+	}
+}
+
+// PeekDeadlineLane returns the deadline of lane's next job without popping.
+// It must run under the lane's lock. With Lanes ≤ 1 it behaves like
+// PeekDeadline.
+func (e *Engine) PeekDeadlineLane(lane int) (time.Duration, bool) {
+	if e.sharded == nil {
+		return e.PeekDeadline()
+	}
+	j, ok := e.sharded.PeekLane(lane)
+	if !ok {
+		return 0, false
+	}
+	return j.Deadline, true
+}
+
 // PeekDeadline returns the deadline of the next job without popping.
 func (e *Engine) PeekDeadline() (time.Duration, bool) {
 	j, ok := e.jobs.Peek()
@@ -454,7 +577,7 @@ func (e *Engine) resolve(j queue.Job) Work {
 		return Work{Kind: WorkDispatch, Job: j, Msg: ent.msg, ArrivedPrimary: ent.arrivedPrimary}
 	case queue.KindReplicate:
 		if e.cfg.Coordination && ent.dispatched {
-			e.stats.AbortedReplicas++
+			e.stats.abortedReplicas.Add(1)
 			return Work{Kind: WorkNone}
 		}
 		// Mark the replication in flight at hand-out time so a dispatch that
@@ -496,7 +619,7 @@ func (e *Engine) OnDispatched(j queue.Job) Coordination {
 		replicated = ent.replicated || ent.replicating
 	})
 	if e.cfg.Coordination && replicated && e.cfg.HasBackup {
-		e.stats.PrunesSent++
+		e.stats.prunesSent.Add(1)
 		return Coordination{SendPrune: true, Topic: j.Topic, Seq: j.Seq}
 	}
 	return Coordination{}
@@ -523,10 +646,10 @@ func (e *Engine) OnReplica(m wire.Message, arrivedPrimary time.Duration) error {
 	ent := entry{msg: m, arrivedPrimary: arrivedPrimary}
 	if st.takePendingPrune(m.Seq) {
 		ent.discard = true
-		e.stats.PrunesApplied++
+		e.stats.prunesApplied.Add(1)
 	}
 	st.backup.Push(ent)
-	e.stats.ReplicasStored++
+	e.stats.replicasStored.Add(1)
 	return nil
 }
 
@@ -544,7 +667,7 @@ func (e *Engine) OnPrune(topic spec.TopicID, seq uint64) {
 			found = true
 			if !ent.discard {
 				st.backup.Update(idx, func(p *entry) { p.discard = true })
-				e.stats.PrunesApplied++
+				e.stats.prunesApplied.Add(1)
 			}
 		}
 	})
@@ -582,13 +705,13 @@ func (e *Engine) Promote() {
 		st.replicate = false
 		st.backup.Do(func(idx uint64, ent entry) {
 			if ent.discard {
-				e.stats.RecoverySkipped++
+				e.stats.recoverySkipped.Add(1)
 				return
 			}
 			if ent.dispatched {
 				return
 			}
-			e.stats.RecoveryJobs++
+			e.stats.recoveryJobs.Add(1)
 			e.jobs.Push(queue.Job{
 				Kind:        queue.KindDispatch,
 				Topic:       st.spec.ID,

@@ -247,20 +247,33 @@ func New(p Policy) Queue {
 
 // Metered decorates a Queue with atomically readable depth and cumulative
 // push/pop counters per job kind, so an admin endpoint can sample queue
-// state without taking the engine lock. Push/Pop/Peek remain single-owner,
-// like the queues they wrap; only the accessors are concurrency-safe.
+// state without taking the engine lock. Push/Pop/Peek follow the wrapped
+// queue's ownership rules (single-owner for the scalar queues; per-lane
+// ownership for a Laned inner — the meters themselves are all atomic, so
+// concurrent different-lane use through one Metered is safe). The accessors
+// are safe from any goroutine.
 type Metered struct {
 	inner    Queue
+	laned    Laned // non-nil iff inner is lane-addressable
 	depth    atomic.Int64
 	maxDepth atomic.Int64
 	pushes   [2]atomic.Uint64 // indexed by Kind−1
 	pops     [2]atomic.Uint64
+	lane     []atomic.Int64 // per-lane depth; len 0 unless inner is Laned
 }
 
 var _ Queue = (*Metered)(nil)
 
-// NewMetered wraps inner with meters.
-func NewMetered(inner Queue) *Metered { return &Metered{inner: inner} }
+// NewMetered wraps inner with meters. A lane-addressable inner additionally
+// gets per-lane depth gauges and the PopLane passthrough.
+func NewMetered(inner Queue) *Metered {
+	m := &Metered{inner: inner}
+	if l, ok := inner.(Laned); ok {
+		m.laned = l
+		m.lane = make([]atomic.Int64, l.Lanes())
+	}
+	return m
+}
 
 func kindIndex(k Kind) int {
 	if k == KindReplicate {
@@ -273,6 +286,9 @@ func kindIndex(k Kind) int {
 func (m *Metered) Push(j Job) {
 	m.inner.Push(j)
 	m.pushes[kindIndex(j.Kind)].Add(1)
+	if m.lane != nil {
+		m.lane[LaneFor(j.Topic, len(m.lane))].Add(1)
+	}
 	d := m.depth.Add(1)
 	for {
 		hi := m.maxDepth.Load()
@@ -288,8 +304,40 @@ func (m *Metered) Pop() (Job, bool) {
 	if ok {
 		m.pops[kindIndex(j.Kind)].Add(1)
 		m.depth.Add(-1)
+		if m.lane != nil {
+			m.lane[LaneFor(j.Topic, len(m.lane))].Add(-1)
+		}
 	}
 	return j, ok
+}
+
+// PopLane removes the next job of one lane, updating the meters. It panics
+// when the wrapped queue is not lane-addressable.
+func (m *Metered) PopLane(lane int) (Job, bool) {
+	j, ok := m.laned.PopLane(lane)
+	if ok {
+		m.pops[kindIndex(j.Kind)].Add(1)
+		m.depth.Add(-1)
+		m.lane[lane].Add(-1)
+	}
+	return j, ok
+}
+
+// Lanes returns the wrapped queue's lane count, or 1 for a scalar queue.
+func (m *Metered) Lanes() int {
+	if m.laned == nil {
+		return 1
+	}
+	return m.laned.Lanes()
+}
+
+// LaneDepth returns the current depth of one lane; for a scalar inner queue
+// lane 0 reports the whole depth. Safe from any goroutine.
+func (m *Metered) LaneDepth(lane int) int64 {
+	if m.lane == nil {
+		return m.depth.Load()
+	}
+	return m.lane[lane].Load()
 }
 
 // Peek returns the next job without removing it.

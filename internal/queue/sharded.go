@@ -1,0 +1,143 @@
+// Sharded EDF dispatch lanes.
+//
+// FRAME's Lemmas 1–2 derive per-topic deadlines that are independent across
+// topics, so a single global EDF queue — while matching the paper's
+// single-host presentation — serializes work that has no ordering
+// relationship. ShardedEDF hashes topics onto a fixed set of lanes, each a
+// plain EDF heap. Within a lane the schedule is exactly the paper's EDF
+// order; across lanes, work proceeds in parallel. Because a topic maps to
+// one lane for the queue's lifetime, per-topic FIFO (for monotone per-topic
+// deadlines, the shape real traffic has) and the Table 3 dispatch/replicate
+// coordination both stay confined to a single lane.
+
+package queue
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// LaneFor maps a topic to a lane in [0, n). The mapping is stable for the
+// life of a process (pure function of the ID), so every job of a topic —
+// dispatch and replicate alike — lands in the same lane. n ≤ 1 always maps
+// to lane 0.
+func LaneFor(id spec.TopicID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Fibonacci-style avalanche so adjacent IDs (the common workload shape)
+	// spread instead of clustering mod n.
+	h := uint32(id) * 0x9e3779b1
+	h ^= h >> 16
+	return int(h % uint32(n))
+}
+
+// Laned is the lane-addressable queue contract ShardedEDF satisfies.
+// Distinct lanes may be operated concurrently; a single lane is
+// single-owner, like the scalar queues.
+type Laned interface {
+	Queue
+	// Lanes returns the fixed lane count.
+	Lanes() int
+	// PopLane removes and returns lane's earliest-deadline job.
+	PopLane(lane int) (Job, bool)
+	// PeekLane returns lane's earliest-deadline job without removing it.
+	PeekLane(lane int) (Job, bool)
+	// LenLane returns the number of jobs queued in lane.
+	LenLane(lane int) int
+}
+
+// ShardedEDF partitions jobs by topic hash across n independent EDF heaps.
+//
+// Concurrency: the lane slice is immutable after NewShardedEDF, and lanes
+// share no state, so operations on *different* lanes are safe to run
+// concurrently without locking. Operations on the same lane — including
+// Push, which routes to LaneFor(j.Topic) — must be serialized by the
+// caller, typically with one mutex per lane. The whole-queue methods (Pop,
+// Peek, Len) touch every lane and require exclusive access to all of them;
+// they exist so a ShardedEDF can stand in wherever a Queue is expected
+// (single-owner callers such as the simulator and tests).
+type ShardedEDF struct {
+	lanes []EDF
+}
+
+var _ Queue = (*ShardedEDF)(nil)
+var _ Laned = (*ShardedEDF)(nil)
+
+// NewShardedEDF returns an empty queue with n lanes (n ≥ 1).
+func NewShardedEDF(n int) *ShardedEDF {
+	if n < 1 {
+		panic(fmt.Sprintf("queue: lane count %d must be ≥ 1", n))
+	}
+	return &ShardedEDF{lanes: make([]EDF, n)}
+}
+
+// Lanes returns the fixed lane count.
+func (q *ShardedEDF) Lanes() int { return len(q.lanes) }
+
+// Lane returns the lane the topic's jobs route to.
+func (q *ShardedEDF) Lane(id spec.TopicID) int { return LaneFor(id, len(q.lanes)) }
+
+// Push enqueues a job into its topic's lane.
+func (q *ShardedEDF) Push(j Job) {
+	q.lanes[q.Lane(j.Topic)].Push(j)
+}
+
+// PopLane removes and returns lane's earliest-deadline job.
+func (q *ShardedEDF) PopLane(lane int) (Job, bool) { return q.lanes[lane].Pop() }
+
+// PeekLane returns lane's earliest-deadline job without removing it.
+func (q *ShardedEDF) PeekLane(lane int) (Job, bool) { return q.lanes[lane].Peek() }
+
+// LenLane returns the number of jobs queued in lane.
+func (q *ShardedEDF) LenLane(lane int) int { return q.lanes[lane].Len() }
+
+// Pop removes and returns the globally earliest-deadline job, breaking ties
+// by lane index. It scans every lane and therefore needs exclusive access
+// to the whole queue.
+func (q *ShardedEDF) Pop() (Job, bool) {
+	best := -1
+	var bestDeadline Job
+	for i := range q.lanes {
+		j, ok := q.lanes[i].Peek()
+		if !ok {
+			continue
+		}
+		if best < 0 || j.Deadline < bestDeadline.Deadline {
+			best, bestDeadline = i, j
+		}
+	}
+	if best < 0 {
+		return Job{}, false
+	}
+	return q.lanes[best].Pop()
+}
+
+// Peek returns the globally earliest-deadline job without removing it.
+func (q *ShardedEDF) Peek() (Job, bool) {
+	best := -1
+	var bestJob Job
+	for i := range q.lanes {
+		j, ok := q.lanes[i].Peek()
+		if !ok {
+			continue
+		}
+		if best < 0 || j.Deadline < bestJob.Deadline {
+			best, bestJob = i, j
+		}
+	}
+	if best < 0 {
+		return Job{}, false
+	}
+	return bestJob, true
+}
+
+// Len returns the total number of queued jobs across all lanes.
+func (q *ShardedEDF) Len() int {
+	n := 0
+	for i := range q.lanes {
+		n += q.lanes[i].Len()
+	}
+	return n
+}

@@ -1,0 +1,119 @@
+// Write batching: coalescing data-plane frames into single writes.
+//
+// FRAME's broker fans every dispatch out to all subscribers of a topic and
+// mirrors every replicated message to the Backup, so under load one arrival
+// costs many small writes — each a syscall on TCP. Batching amortizes them:
+// frames queue in an in-memory buffer and leave in one Write when either the
+// buffer reaches a size threshold or a short timer (the batch window)
+// expires. The window bounds the added latency, so deployments must keep it
+// below the minimum per-topic slack (Lemma 2's Dd − service time) for the
+// deadline analysis to stay valid; the broker documents this on its -batch
+// flag.
+//
+// Only data-plane frames batch (Dispatch, Replicate, Prune). Control traffic
+// — clock sync, failure-detector polls, handshakes — writes through
+// immediately after draining the batch, so batching never delays the clock
+// or the detector, and per-connection frame order is always preserved.
+
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// DefaultBatchMaxBytes is the flush-on-size threshold when EnableBatching is
+// given a zero maximum: large enough to coalesce dozens of typical frames,
+// small enough to stay far below MaxFrameSize-scale memory per connection.
+const DefaultBatchMaxBytes = 32 << 10
+
+// batchable reports whether a frame type may be delayed by the batch window.
+func batchable(t wire.Type) bool {
+	switch t {
+	case wire.TypeDispatch, wire.TypeReplicate, wire.TypePrune:
+		return true
+	default:
+		return false
+	}
+}
+
+// EnableBatching turns on write coalescing: batchable frames sent on this
+// connection buffer for up to window (or until maxBytes are pending,
+// DefaultBatchMaxBytes when zero) and then leave in a single Write. The
+// receive path needs no change — a batch is just back-to-back length-prefixed
+// frames. A flush failure is sticky: every later Send returns it, mirroring
+// how an unbatched connection behaves once its conn is broken.
+//
+// Call with window 0 to disable again (pending frames are flushed).
+func (c *Conn) EnableBatching(window time.Duration, maxBytes int) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultBatchMaxBytes
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.batchWin = window
+	c.batchMax = maxBytes
+	if window <= 0 {
+		c.flushLocked()
+	}
+}
+
+// Flush writes any pending batch immediately.
+func (c *Conn) Flush() error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return c.flushLocked()
+}
+
+// enqueueLocked appends one encoded frame to the pending batch, flushing on
+// size and arming the window timer otherwise.
+func (c *Conn) enqueueLocked(body []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	c.pending = append(c.pending, hdr[:]...)
+	c.pending = append(c.pending, body...)
+	c.pendingFrames++
+	if len(c.pending) >= c.batchMax {
+		return c.flushLocked()
+	}
+	if c.timer == nil {
+		c.timer = time.AfterFunc(c.batchWin, c.flushTimeout)
+	} else if c.pendingFrames == 1 {
+		c.timer.Reset(c.batchWin)
+	}
+	return nil
+}
+
+// flushTimeout is the batch window expiring.
+func (c *Conn) flushTimeout() {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.flushLocked()
+}
+
+// flushLocked writes the pending batch in one Write. Errors stick so callers
+// that only learn of them on a later Send still see the failure.
+func (c *Conn) flushLocked() error {
+	if c.werr != nil {
+		return c.werr
+	}
+	if len(c.pending) == 0 {
+		return nil
+	}
+	n := c.pendingFrames
+	buf := c.pending
+	c.pending = c.pending[:0]
+	c.pendingFrames = 0
+	if _, err := c.nc.Write(buf); err != nil {
+		c.werr = fmt.Errorf("transport: batch flush: %w", err)
+		return c.werr
+	}
+	if c.meter != nil {
+		c.meter.FramesSent.Add(uint64(n))
+		c.meter.BytesSent.Add(uint64(len(buf)))
+	}
+	return nil
+}

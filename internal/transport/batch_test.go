@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/wire"
+)
+
+// countingConn counts Write calls — the syscall-shaped quantity batching is
+// supposed to reduce.
+type countingConn struct {
+	net.Conn
+	writes atomic.Int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	c.writes.Add(1)
+	return c.Conn.Write(p)
+}
+
+// batchPair returns a batching sender whose Writes are counted, and a
+// receiver draining frames into a channel.
+func batchPair(t *testing.T, window time.Duration, maxBytes int) (*Conn, *countingConn, <-chan *wire.Frame) {
+	t.Helper()
+	a, b := net.Pipe()
+	cc := &countingConn{Conn: a}
+	sender := NewConn(cc)
+	sender.EnableBatching(window, maxBytes)
+	receiver := NewConn(b)
+	t.Cleanup(func() { sender.Close(); receiver.Close() })
+	frames := make(chan *wire.Frame, 1024)
+	go func() {
+		defer close(frames)
+		for {
+			f, err := receiver.Recv()
+			if err != nil {
+				return
+			}
+			frames <- f
+		}
+	}()
+	return sender, cc, frames
+}
+
+func dispatchFrame(topic spec.TopicID, seq uint64) *wire.Frame {
+	return &wire.Frame{Type: wire.TypeDispatch, Msg: wire.Message{
+		Topic: topic, Seq: seq, Created: time.Duration(seq), Payload: []byte("0123456789abcdef"),
+	}}
+}
+
+func collect(t *testing.T, frames <-chan *wire.Frame, n int) []*wire.Frame {
+	t.Helper()
+	got := make([]*wire.Frame, 0, n)
+	timeout := time.After(5 * time.Second)
+	for len(got) < n {
+		select {
+		case f, ok := <-frames:
+			if !ok {
+				t.Fatalf("receiver closed after %d of %d frames", len(got), n)
+			}
+			got = append(got, f)
+		case <-timeout:
+			t.Fatalf("timed out with %d of %d frames", len(got), n)
+		}
+	}
+	return got
+}
+
+// TestBatchCoalescesWrites sends a burst of dispatch frames and checks that
+// they arrive complete and in order in far fewer Writes than frames — the
+// whole point of the batcher.
+func TestBatchCoalescesWrites(t *testing.T) {
+	sender, cc, frames := batchPair(t, 2*time.Millisecond, 0)
+	const n = 100
+	for i := uint64(1); i <= n; i++ {
+		if err := sender.Send(dispatchFrame(7, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, frames, n)
+	for i, f := range got {
+		if f.Msg.Seq != uint64(i+1) {
+			t.Fatalf("frame %d has seq %d: batching reordered frames", i, f.Msg.Seq)
+		}
+	}
+	if w := cc.writes.Load(); w >= n/2 {
+		t.Errorf("%d frames took %d writes; batching should coalesce", n, w)
+	}
+}
+
+// TestBatchFlushesOnSize uses an effectively infinite window so only the
+// size threshold can flush, and checks frames still arrive.
+func TestBatchFlushesOnSize(t *testing.T) {
+	sender, cc, frames := batchPair(t, time.Hour, 256)
+	const n = 50
+	for i := uint64(1); i <= n; i++ {
+		if err := sender.Send(dispatchFrame(1, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A 16-byte-payload frame is several dozen bytes; 50 of them overflow a
+	// 256-byte threshold many times, so all but the last partial batch are
+	// already out with no timer involved.
+	got := collect(t, frames, n-8)
+	if len(got) == 0 || cc.writes.Load() == 0 {
+		t.Fatal("size threshold never flushed")
+	}
+	if err := sender.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rest := collect(t, frames, n-len(got))
+	last := got[len(got)-1].Msg.Seq
+	for _, f := range rest {
+		if f.Msg.Seq != last+1 {
+			t.Fatalf("after explicit flush got seq %d, want %d", f.Msg.Seq, last+1)
+		}
+		last = f.Msg.Seq
+	}
+}
+
+// TestBatchControlFramesWriteThrough checks that a non-batchable frame
+// drains the pending batch first and goes out immediately — order preserved,
+// no window-length delay for control traffic.
+func TestBatchControlFramesWriteThrough(t *testing.T) {
+	sender, _, frames := batchPair(t, time.Hour, 0)
+	for i := uint64(1); i <= 3; i++ {
+		if err := sender.Send(dispatchFrame(2, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sender.Send(&wire.Frame{Type: wire.TypePoll, Nonce: 99}); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, frames, 4)
+	for i := 0; i < 3; i++ {
+		if got[i].Type != wire.TypeDispatch || got[i].Msg.Seq != uint64(i+1) {
+			t.Fatalf("frame %d = %v seq %d, want queued dispatch %d", i, got[i].Type, got[i].Msg.Seq, i+1)
+		}
+	}
+	if got[3].Type != wire.TypePoll || got[3].Nonce != 99 {
+		t.Fatalf("frame 3 = %v, want the poll that flushed the batch", got[3].Type)
+	}
+}
+
+// TestBatchFlushesOnClose checks the orderly-shutdown path: frames parked
+// behind a long window still reach the peer when the sender closes.
+func TestBatchFlushesOnClose(t *testing.T) {
+	sender, _, frames := batchPair(t, time.Hour, 0)
+	for i := uint64(1); i <= 5; i++ {
+		if err := sender.Send(dispatchFrame(3, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	go sender.Close() // net.Pipe writes rendezvous with the reader
+	got := collect(t, frames, 5)
+	if got[4].Msg.Seq != 5 {
+		t.Fatalf("last frame seq %d, want 5", got[4].Msg.Seq)
+	}
+}
+
+// TestBatchConcurrentSenders checks the broker's actual usage: many worker
+// goroutines sharing one subscriber conn. Frames may interleave across
+// goroutines but each goroutine's own frames must stay in order, and none
+// may be lost or corrupted.
+func TestBatchConcurrentSenders(t *testing.T) {
+	sender, _, frames := batchPair(t, time.Millisecond, 0)
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(1); i <= perWorker; i++ {
+				if err := sender.Send(dispatchFrame(spec.TopicID(w), i)); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := sender.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, frames, workers*perWorker)
+	next := make(map[spec.TopicID]uint64)
+	for _, f := range got {
+		if f.Msg.Seq != next[f.Msg.Topic]+1 {
+			t.Fatalf("topic %d: seq %d after %d", f.Msg.Topic, f.Msg.Seq, next[f.Msg.Topic])
+		}
+		next[f.Msg.Topic] = f.Msg.Seq
+	}
+}
+
+// TestBatchStickyError checks that once a flush fails the connection stays
+// failed: later Sends report the error instead of silently dropping frames
+// into a dead buffer.
+func TestBatchStickyError(t *testing.T) {
+	a, b := net.Pipe()
+	sender := NewConn(a)
+	sender.EnableBatching(time.Hour, 0)
+	if err := sender.Send(dispatchFrame(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	b.Close() // peer gone: the eventual flush must fail
+	if err := sender.Flush(); err == nil {
+		t.Fatal("flush to closed peer succeeded")
+	}
+	if err := sender.Send(dispatchFrame(1, 2)); err == nil {
+		t.Fatal("send after failed flush succeeded")
+	}
+}

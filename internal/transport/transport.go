@@ -49,6 +49,14 @@ type Conn struct {
 	writeMu sync.Mutex
 	wbuf    []byte
 
+	// Write batching (see EnableBatching); all fields guarded by writeMu.
+	batchWin      time.Duration
+	batchMax      int
+	pending       []byte // encoded frames (header+body) awaiting one Write
+	pendingFrames int
+	timer         *time.Timer
+	werr          error // sticky batch-flush failure
+
 	// read state: single reader assumed.
 	lenBuf [4]byte
 	rbuf   []byte
@@ -61,10 +69,15 @@ func NewConn(nc net.Conn) *Conn { return &Conn{nc: nc} }
 // between goroutines; a nil meter disables counting.
 func (c *Conn) SetMeter(m *Meter) { c.meter = m }
 
-// Send encodes and writes one frame. Safe for concurrent use.
+// Send encodes and writes one frame. Safe for concurrent use. On a batching
+// connection (EnableBatching), data-plane frames are coalesced and may leave
+// later, in order; all other frames drain the batch first and write through.
 func (c *Conn) Send(f *wire.Frame) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	if c.werr != nil {
+		return c.werr
+	}
 	body, err := wire.Encode(c.wbuf[:0], f)
 	if err != nil {
 		return fmt.Errorf("transport: encode %v: %w", f.Type, err)
@@ -73,6 +86,19 @@ func (c *Conn) Send(f *wire.Frame) error {
 	if len(body) > MaxFrameSize {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
 	}
+	if c.batchWin > 0 && batchable(f.Type) {
+		return c.enqueueLocked(body)
+	}
+	// Control frames (and every frame on an unbatched conn) keep per-conn
+	// order: drain anything pending, then write through.
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
+	return c.writeFrameLocked(body)
+}
+
+// writeFrameLocked writes one length-prefixed frame immediately.
+func (c *Conn) writeFrameLocked(body []byte) error {
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := c.nc.Write(hdr[:]); err != nil {
@@ -121,7 +147,23 @@ func (c *Conn) Recv() (*wire.Frame, error) {
 func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
 
 // Close closes the underlying connection; a blocked Recv returns an error.
-func (c *Conn) Close() error { return c.nc.Close() }
+// A pending batch gets one bounded best-effort flush first, so orderly
+// shutdowns do not drop coalesced frames; if another goroutine holds the
+// write lock (possibly blocked in a Write), closing the net.Conn unsticks it.
+func (c *Conn) Close() error {
+	if c.writeMu.TryLock() {
+		if len(c.pending) > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
+			c.flushLocked()
+			c.nc.SetWriteDeadline(time.Time{})
+		}
+		if c.timer != nil {
+			c.timer.Stop()
+		}
+		c.writeMu.Unlock()
+	}
+	return c.nc.Close()
+}
 
 // RemoteAddr exposes the peer address for logs.
 func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
