@@ -39,12 +39,15 @@ cover-check:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Lane-scaling regression guard: repeat BenchmarkDispatchLanes{1,4,8} and
-# summarize with benchstat when it is installed (raw output otherwise; the
-# acceptance bar is ≥2x ns/op at 8 lanes vs 1 on a multi-core runner).
+# Hot-path regression guard: repeat BenchmarkDispatchLanes{1,4,8} and
+# BenchmarkFanout{1,8,64} with allocation reporting and summarize with
+# benchstat when it is installed (raw output otherwise). Acceptance bars:
+# ≥2x ns/op at 8 lanes vs 1 on a multi-core runner, and 0 allocs/op on both
+# the dispatch and fan-out paths — benchstat's B/op and allocs/op columns
+# are the alloc-regression signal.
 BENCH_COUNT ?= 6
 bench-compare:
-	$(GO) test -run '^$$' -bench 'BenchmarkDispatchLanes' -count $(BENCH_COUNT) . | tee dispatch_lanes.bench
+	$(GO) test -run '^$$' -bench 'BenchmarkDispatchLanes|BenchmarkFanout' -benchmem -count $(BENCH_COUNT) . | tee dispatch_lanes.bench
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat dispatch_lanes.bench; \
 	else \

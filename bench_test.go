@@ -16,6 +16,8 @@ package frame
 
 import (
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"strconv"
 	"sync"
@@ -30,6 +32,7 @@ import (
 	"repro/internal/simcluster"
 	"repro/internal/spec"
 	"repro/internal/timing"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -325,6 +328,7 @@ func benchmarkDispatchLanes(b *testing.B, lanes int) {
 	var now atomic.Int64 // synthetic clock: created times stay monotone
 	var sink atomic.Uint64
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	remaining := b.N
 	for remaining > 0 {
@@ -381,9 +385,14 @@ func benchmarkDispatchLanes(b *testing.B, lanes int) {
 						break
 					}
 				}
+				// Drain through NextWorkLaneInto with per-worker scratch —
+				// the concurrent broker's pop path.
+				var scratch []byte
 				for {
 					laneMu[l].Lock()
-					w, ok := eng.NextWorkLane(l)
+					var w core.Work
+					var ok bool
+					w, scratch, ok = eng.NextWorkLaneInto(l, scratch)
 					laneMu[l].Unlock()
 					if !ok {
 						return
@@ -428,7 +437,60 @@ func benchmarkDispatchLanes(b *testing.B, lanes int) {
 
 // BenchmarkDispatchLanes{1,4,8} are the lane-scaling regression guard; see
 // `make bench-compare` for the benchstat workflow. Acceptance: ≥2x ns/op
-// improvement at 8 lanes vs 1 on a multi-core runner.
+// improvement at 8 lanes vs 1 on a multi-core runner, 0 allocs/op.
 func BenchmarkDispatchLanes1(b *testing.B) { benchmarkDispatchLanes(b, 1) }
 func BenchmarkDispatchLanes4(b *testing.B) { benchmarkDispatchLanes(b, 4) }
 func BenchmarkDispatchLanes8(b *testing.B) { benchmarkDispatchLanes(b, 8) }
+
+// discardConn is a net.Conn whose writes vanish, so the fan-out benches
+// measure the broker-side encode+send cost without a kernel or a peer.
+type discardConn struct{ n atomic.Uint64 }
+
+func (d *discardConn) Read([]byte) (int, error)        { return 0, io.EOF }
+func (d *discardConn) Write(p []byte) (int, error)     { d.n.Add(uint64(len(p))); return len(p), nil }
+func (d *discardConn) Close() error                    { return nil }
+func (d *discardConn) LocalAddr() net.Addr             { return nil }
+func (d *discardConn) RemoteAddr() net.Addr            { return nil }
+func (d *discardConn) SetDeadline(time.Time) error     { return nil }
+func (d *discardConn) SetReadDeadline(time.Time) error { return nil }
+func (d *discardConn) SetWriteDeadline(t time.Time) error {
+	return nil
+}
+
+// benchmarkFanout measures the encode-once fan-out: one dispatch frame body
+// built per message (wire.AppendDispatchBody into a reused buffer) and the
+// identical bytes pushed to `subs` subscriber connections via
+// transport.SendEncoded. This is the per-message broker-side dispatch cost
+// Lemma 1's delivery-module utilization term models; acceptance is 0
+// allocs/op at every fan-out width.
+func benchmarkFanout(b *testing.B, subs int) {
+	conns := make([]*transport.Conn, subs)
+	sink := &discardConn{}
+	for i := range conns {
+		conns[i] = transport.NewConn(sink)
+	}
+	m := wire.Message{Topic: 7, Seq: 0, Created: time.Millisecond, Payload: make([]byte, 16)}
+	var body []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Seq++
+		body = wire.AppendDispatchBody(body[:0], &m, time.Duration(i))
+		for _, c := range conns {
+			if err := c.SendEncoded(body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if sink.n.Load() == 0 {
+		b.Fatal("fan-out wrote nothing")
+	}
+}
+
+// BenchmarkFanout{1,8,64} sweep subscriber counts: the body build amortizes
+// across the fan-out, so ns/op should grow sub-linearly in subscribers and
+// allocs/op must stay 0 — that is the whole point of encode-once.
+func BenchmarkFanout1(b *testing.B)  { benchmarkFanout(b, 1) }
+func BenchmarkFanout8(b *testing.B)  { benchmarkFanout(b, 8) }
+func BenchmarkFanout64(b *testing.B) { benchmarkFanout(b, 64) }

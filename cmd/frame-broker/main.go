@@ -49,6 +49,7 @@ func run() error {
 		diskDir    = flag.String("disk", "", "backup role: also persist replicas to this directory (Table 1 'local disk' strategy)")
 		diskSync   = flag.Bool("disk-sync", false, "fsync every persisted replica (durable, slow)")
 		adminAddr  = flag.String("admin-addr", "", "bind an HTTP admin endpoint here serving /metrics, /healthz, and /debug/pprof (empty = disabled)")
+		zeroCopy   = flag.Bool("zerocopy", true, "decode received payloads as aliases into each connection's receive buffer (zero-copy hot path); false forces a defensive copy per frame")
 	)
 	flag.Parse()
 
@@ -95,20 +96,21 @@ func run() error {
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	opts := frame.BrokerOptions{
-		Engine:        engine,
-		Role:          brokerRole,
-		ListenAddr:    *listen,
-		PeerAddr:      *peer,
-		Network:       frame.NewTCPNetwork(2 * time.Second),
-		Clock:         frame.NewClock(),
-		Workers:       *workers,
-		Lanes:         *lanes,
-		BatchWindow:   *batch,
-		BatchMaxBytes: *batchBytes,
-		Topics:        topics,
-		Logger:        logger,
-		DiskBackupDir: *diskDir,
-		AdminAddr:     *adminAddr,
+		Engine:          engine,
+		Role:            brokerRole,
+		ListenAddr:      *listen,
+		PeerAddr:        *peer,
+		Network:         frame.NewTCPNetwork(2 * time.Second),
+		Clock:           frame.NewClock(),
+		Workers:         *workers,
+		Lanes:           *lanes,
+		BatchWindow:     *batch,
+		BatchMaxBytes:   *batchBytes,
+		Topics:          topics,
+		Logger:          logger,
+		DiskBackupDir:   *diskDir,
+		AdminAddr:       *adminAddr,
+		DisableZeroCopy: !*zeroCopy,
 	}
 	if *diskSync {
 		opts.DiskSync = frame.DiskSyncAlways

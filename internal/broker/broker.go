@@ -120,6 +120,13 @@ type Options struct {
 	// liveness, queue depth), and /debug/pprof. The listener binds in New
 	// (so AdminAddr() is dialable immediately) and serves from Start.
 	AdminAddr string
+	// DisableZeroCopy turns off zero-copy receive: by default the broker's
+	// session loops decode message payloads as aliases into each
+	// connection's receive buffer (safe because a session handles one frame
+	// fully before reading the next, and the engine's buffers copy what
+	// they retain). Set to force a defensive copy per received frame, e.g.
+	// while bisecting a suspected payload-ownership bug.
+	DisableZeroCopy bool
 }
 
 // Broker runs one FRAME broker.
@@ -554,6 +561,7 @@ func (b *Broker) acceptLoop(ctx context.Context) {
 		}
 		conn := transport.NewConn(nc)
 		conn.SetMeter(&b.meter)
+		conn.SetZeroCopy(!b.opts.DisableZeroCopy)
 		b.enableBatching(conn)
 		b.wg.Add(1)
 		go func() {
@@ -564,16 +572,20 @@ func (b *Broker) acceptLoop(ctx context.Context) {
 }
 
 // serveConn runs one session read loop. The first frame should be a Hello;
-// untyped sessions are served generically anyway (poll/time replies).
+// untyped sessions are served generically anyway (poll/time replies). One
+// pooled frame serves the whole session: handleFrame consumes each frame
+// fully (anything retained — ring-buffer entries, disk log records — is
+// copied by its owner) before the next RecvInto overwrites it.
 func (b *Broker) serveConn(ctx context.Context, conn *transport.Conn) {
 	defer conn.Close()
 	defer b.removeSubscriber(conn)
 	// Ensure blocked reads unstick on shutdown.
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
+	f := transport.GetFrame()
+	defer transport.PutFrame(f)
 	for {
-		f, err := conn.Recv()
-		if err != nil {
+		if err := conn.RecvInto(f); err != nil {
 			return
 		}
 		if err := b.handleFrame(conn, f); err != nil {
@@ -693,12 +705,23 @@ func (b *Broker) removeSubscriber(conn *transport.Conn) {
 	}
 }
 
+// workerScratch is the reusable storage one delivery worker cycles through
+// for every job it executes: the payload copy taken under the lane lock,
+// the encode-once frame body, and the fan-out connection snapshot. All
+// three amortize to zero allocations at steady state.
+type workerScratch struct {
+	payload []byte
+	body    []byte
+	conns   []*transport.Conn
+}
+
 // workerLoop is one Message Delivery thread pinned to one dispatch lane: it
 // pops resolved work under the lane lock and performs the network sends
 // outside it. Lanes share nothing on this path, so GOMAXPROCS lanes drive
 // GOMAXPROCS cores without contending.
 func (b *Broker) workerLoop(laneIdx int) {
 	lane := b.lanes[laneIdx]
+	var wk workerScratch
 	for {
 		lane.mu.Lock()
 		var w core.Work
@@ -708,7 +731,10 @@ func (b *Broker) workerLoop(laneIdx int) {
 				lane.mu.Unlock()
 				return
 			}
-			w, ok = b.engine.NextWorkLane(laneIdx)
+			// The payload is copied into this worker's scratch under the
+			// lane lock: once released, concurrent publishes may evict and
+			// reuse the ring slot the message lives in.
+			w, wk.payload, ok = b.engine.NextWorkLaneInto(laneIdx, wk.payload)
 			if ok {
 				break
 			}
@@ -729,14 +755,14 @@ func (b *Broker) workerLoop(laneIdx int) {
 				b.lateDispatches.Add(1)
 				b.obs.LateDispatches.Inc()
 			}
-			b.dispatch(w)
+			b.dispatch(w, &wk)
 			done := b.opts.Clock()
 			b.obs.Dispatches.Inc()
 			b.obs.StageDispatch.Observe(done - popped)
 			b.obs.EndToEnd.Observe(done - w.Job.Release)
 			b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageAck, Topic: uint64(w.Msg.Topic), Seq: w.Msg.Seq, At: done})
 		case core.WorkReplicate:
-			b.replicate(w)
+			b.replicate(w, &wk)
 			done := b.opts.Clock()
 			b.obs.StageReplicate.Observe(done - popped)
 			b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageAck, Topic: uint64(w.Msg.Topic), Seq: w.Msg.Seq, At: done})
@@ -745,15 +771,18 @@ func (b *Broker) workerLoop(laneIdx int) {
 }
 
 // dispatch pushes the message to every subscriber of the topic, then runs
-// the Table 3 Dispatch steps (flag + prune request).
-func (b *Broker) dispatch(w core.Work) {
+// the Table 3 Dispatch steps (flag + prune request). The Dispatch frame is
+// encoded exactly once into the worker's scratch and the identical bytes
+// fan out to every subscriber via SendEncoded, which never retains the
+// buffer — so the whole fan-out costs one encode and zero allocations.
+func (b *Broker) dispatch(w core.Work, wk *workerScratch) {
 	b.subsMu.Lock()
-	conns := append([]*transport.Conn(nil), b.subs[w.Msg.Topic]...)
+	wk.conns = append(wk.conns[:0], b.subs[w.Msg.Topic]...)
 	b.subsMu.Unlock()
 	b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageDispatch, Topic: uint64(w.Msg.Topic), Seq: w.Msg.Seq, At: b.opts.Clock()})
-	frame := &wire.Frame{Type: wire.TypeDispatch, Msg: w.Msg, Dispatched: b.opts.Clock()}
-	for _, c := range conns {
-		if err := c.Send(frame); err != nil {
+	wk.body = wire.AppendDispatchBody(wk.body[:0], &w.Msg, b.opts.Clock())
+	for _, c := range wk.conns {
+		if err := c.SendEncoded(wk.body); err != nil {
 			b.obs.DispatchSendErrors.Inc()
 			b.log.Warn("dispatch send failed", "topic", w.Msg.Topic, "err", err)
 			continue
@@ -767,7 +796,8 @@ func (b *Broker) dispatch(w core.Work) {
 	lane.mu.Unlock()
 	if co.SendPrune {
 		if peer := b.peer(); peer != nil {
-			if err := peer.Send(&wire.Frame{Type: wire.TypePrune, Topic: co.Topic, Seq: co.Seq}); err != nil {
+			wk.body = wire.AppendPruneBody(wk.body[:0], co.Topic, co.Seq)
+			if err := peer.SendEncoded(wk.body); err != nil {
 				b.log.Warn("prune send failed", "err", err)
 			} else {
 				b.obs.PrunesSent.Inc()
@@ -777,15 +807,15 @@ func (b *Broker) dispatch(w core.Work) {
 }
 
 // replicate pushes a copy of the message to the Backup (Table 3 Replicate
-// steps 2–3).
-func (b *Broker) replicate(w core.Work) {
+// steps 2–3), encoding the frame once into the worker's scratch.
+func (b *Broker) replicate(w core.Work, wk *workerScratch) {
 	peer := b.peer()
 	if peer == nil {
 		return // backup gone or never configured
 	}
 	b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageReplicate, Topic: uint64(w.Msg.Topic), Seq: w.Msg.Seq, At: b.opts.Clock()})
-	frame := &wire.Frame{Type: wire.TypeReplicate, Msg: w.Msg, ArrivedPrimary: w.ArrivedPrimary}
-	if err := peer.Send(frame); err != nil {
+	wk.body = wire.AppendReplicateBody(wk.body[:0], &w.Msg, w.ArrivedPrimary)
+	if err := peer.SendEncoded(wk.body); err != nil {
 		b.obs.ReplicateErrors.Inc()
 		b.log.Warn("replicate send failed", "topic", w.Msg.Topic, "err", err)
 		return
@@ -811,6 +841,7 @@ func (b *Broker) dialPeer() (*transport.Conn, error) {
 	}
 	conn := transport.NewConn(nc)
 	conn.SetMeter(&b.meter)
+	conn.SetZeroCopy(!b.opts.DisableZeroCopy)
 	b.enableBatching(conn)
 	if err := conn.Send(&wire.Frame{Type: wire.TypeHello, Role: wire.RoleBrokerPeer, Name: b.Addr()}); err != nil {
 		conn.Close()

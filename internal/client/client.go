@@ -230,6 +230,10 @@ func (p *Publisher) Close() {
 }
 
 // Delivery is one received message with measurement context.
+//
+// Ownership: Msg.Payload is backed by the receive path's reused buffers and
+// is valid only for the duration of the OnDeliver callback; a consumer that
+// retains the payload beyond the callback must copy it.
 type Delivery struct {
 	Msg wire.Message
 	// Latency is ts − tc in the synchronized timebase.
@@ -328,10 +332,14 @@ func NewSubscriber(opts SubscriberOptions) (*Subscriber, error) {
 	return s, nil
 }
 
+// receiveLoop drains one broker link with a pooled, reused frame: each
+// dispatch is fully handled (latency recorded, OnDeliver invoked) before
+// the next receive overwrites the frame's storage.
 func (s *Subscriber) receiveLoop(conn *transport.Conn) {
+	f := transport.GetFrame()
+	defer transport.PutFrame(f)
 	for {
-		f, err := conn.Recv()
-		if err != nil {
+		if err := conn.RecvInto(f); err != nil {
 			return
 		}
 		if f.Type != wire.TypeDispatch {

@@ -417,8 +417,15 @@ func (e *Engine) OnPublish(m wire.Message, now time.Duration) error {
 		return fmt.Errorf("core: publish to unknown topic %d", m.Topic)
 	}
 	e.stats.published.Add(1)
-	ent := entry{msg: m, arrivedPrimary: now}
-	idx, evicted := st.buffer.Push(ent)
+	// The buffer owns its copy of the payload: m.Payload may alias a
+	// transport receive buffer (wire.ModeAlias) that is overwritten by the
+	// next read, so the slot copies it — reusing the evicted entry's payload
+	// storage, which makes the steady-state publish path allocation-free.
+	idx, evicted := st.buffer.PushInPlace(func(slot *entry) {
+		pl := slot.msg.Payload
+		*slot = entry{msg: m, arrivedPrimary: now}
+		slot.msg.Payload = appendPayload(pl, m.Payload)
+	})
 	if evicted {
 		e.stats.evictedMessages.Add(1)
 	}
@@ -465,6 +472,22 @@ func deadlineOrMax(created, pseudo time.Duration) time.Duration {
 	return created + pseudo
 }
 
+// payloadKeepCap bounds the payload capacity a reused buffer (ring slot or
+// worker scratch) retains across messages: one jumbo payload must not pin
+// up to wire.MaxPayload bytes per slot for the life of the process. The
+// evaluation workload's payloads are 16 bytes; 4 KiB keeps any sensible
+// sensor payload allocation-free.
+const payloadKeepCap = 4 << 10
+
+// appendPayload copies src into dst's storage (from the start), allocating
+// afresh when dst's capacity is oversized relative to payloadKeepCap.
+func appendPayload(dst, src []byte) []byte {
+	if cap(dst) > payloadKeepCap && len(src) <= payloadKeepCap {
+		dst = nil
+	}
+	return append(dst[:0], src...)
+}
+
 // WorkKind is what a popped job resolved to.
 type WorkKind int
 
@@ -479,6 +502,15 @@ const (
 )
 
 // Work is the resolved action for a popped job.
+//
+// Ownership: Msg.Payload returned by NextWork/NextWorkLane aliases the ring
+// slot the message lives in, so it is valid only until the topic's buffer
+// evicts that slot (i.e. until enough later publishes of the same topic
+// wrap the ring). Runtimes that hold Work across further arrivals while
+// payloads are in play (the concurrent broker) must use NextWorkLaneInto,
+// which copies the payload into caller-owned scratch before the lane lock
+// is released; the discrete-event simulators model payload size without
+// carrying bytes, so plain NextWork stays safe there.
 type Work struct {
 	Kind WorkKind
 	Job  queue.Job
@@ -530,6 +562,23 @@ func (e *Engine) NextWorkLane(lane int) (Work, bool) {
 		}
 		return w, true
 	}
+}
+
+// NextWorkLaneInto is NextWorkLane with a caller-owned payload buffer: the
+// returned Work.Msg.Payload is copied into scratch's storage (grown as
+// needed, re-allocated when a jumbo payload left it oversized), so the
+// caller may keep using the message after releasing the lane lock while
+// concurrent publishes evict and reuse the ring slot it came from. The
+// possibly-grown scratch is returned for reuse; the broker keeps one per
+// delivery worker, which makes the steady-state pop path allocation-free.
+func (e *Engine) NextWorkLaneInto(lane int, scratch []byte) (Work, []byte, bool) {
+	w, ok := e.NextWorkLane(lane)
+	if !ok {
+		return w, scratch, false
+	}
+	scratch = appendPayload(scratch, w.Msg.Payload)
+	w.Msg.Payload = scratch
+	return w, scratch, true
 }
 
 // PeekDeadlineLane returns the deadline of lane's next job without popping.
@@ -643,12 +692,19 @@ func (e *Engine) OnReplica(m wire.Message, arrivedPrimary time.Duration) error {
 	if !ok {
 		return fmt.Errorf("core: replica for unknown topic %d", m.Topic)
 	}
-	ent := entry{msg: m, arrivedPrimary: arrivedPrimary}
+	discard := false
 	if st.takePendingPrune(m.Seq) {
-		ent.discard = true
+		discard = true
 		e.stats.prunesApplied.Add(1)
 	}
-	st.backup.Push(ent)
+	// Like the Message Buffer, the Backup Buffer takes its own copy of the
+	// payload (reusing the evicted slot's storage): the Replicate frame it
+	// arrived in may alias a transport receive buffer.
+	st.backup.PushInPlace(func(slot *entry) {
+		pl := slot.msg.Payload
+		*slot = entry{msg: m, arrivedPrimary: arrivedPrimary, discard: discard}
+		slot.msg.Payload = appendPayload(pl, m.Payload)
+	})
 	e.stats.replicasStored.Add(1)
 	return nil
 }

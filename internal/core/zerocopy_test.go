@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/timing"
+	"repro/internal/wire"
+)
+
+// aliasedMsg builds a message whose payload the caller will scribble over,
+// standing in for a transport receive buffer decoded with wire.ModeAlias.
+func aliasedMsg(seq uint64, payload []byte) wire.Message {
+	return wire.Message{Topic: 0, Seq: seq, Created: time.Duration(seq), Payload: payload}
+}
+
+// TestOnPublishCopiesAliasedPayload: the Message Buffer must own its bytes —
+// with zero-copy receive, m.Payload is overwritten by the very next frame on
+// the same connection, long before dispatch runs.
+func TestOnPublishCopiesAliasedPayload(t *testing.T) {
+	e := newEngine(t, FRAMEConfig(timing.PaperParams()), paperTopic(t, 0, 0))
+	rbuf := []byte("live-payload-aaa")
+	if err := e.OnPublish(aliasedMsg(1, rbuf), 0); err != nil {
+		t.Fatal(err)
+	}
+	copy(rbuf, "XXXXXXXXXXXXXXXX") // next frame lands in the receive buffer
+
+	for {
+		w, ok := e.NextWork()
+		if !ok {
+			t.Fatal("no dispatch work")
+		}
+		if w.Kind != WorkDispatch {
+			e.OnReplicated(w.Job)
+			continue
+		}
+		if !bytes.Equal(w.Msg.Payload, []byte("live-payload-aaa")) {
+			t.Errorf("dispatched payload = %q: buffer aliased the publisher's receive buffer", w.Msg.Payload)
+		}
+		return
+	}
+}
+
+// TestOnReplicaCopiesAliasedPayload: same ownership rule on the Backup —
+// recovery after promotion must dispatch the bytes that were replicated, not
+// whatever the peer connection's buffer holds by then.
+func TestOnReplicaCopiesAliasedPayload(t *testing.T) {
+	backup := newEngine(t, FRAMEConfig(timing.PaperParams()), paperTopic(t, 2, 2))
+	rbuf := []byte("replica-payload!")
+	m := wire.Message{Topic: 2, Seq: 1, Created: time.Millisecond, Payload: rbuf}
+	if err := backup.OnReplica(m, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	copy(rbuf, "XXXXXXXXXXXXXXXX")
+
+	backup.Promote()
+	w, ok := backup.NextWork()
+	if !ok || w.Kind != WorkDispatch {
+		t.Fatalf("work = %+v, want recovery dispatch", w)
+	}
+	if !bytes.Equal(w.Msg.Payload, []byte("replica-payload!")) {
+		t.Errorf("recovered payload = %q: backup buffer aliased the peer's receive buffer", w.Msg.Payload)
+	}
+}
+
+// TestNextWorkLaneIntoCopiesOutOfRing: a Work popped via NextWorkLaneInto
+// must stay intact while later publishes wrap the ring and reuse its slot —
+// the exact race the concurrent broker's workers face once payload storage
+// is recycled in place.
+func TestNextWorkLaneIntoCopiesOutOfRing(t *testing.T) {
+	cfg := FRAMEConfig(timing.PaperParams())
+	cfg.MessageBufferCap = 1 // every publish reuses the same slot
+	e := newEngine(t, cfg, paperTopic(t, 0, 0))
+	if err := e.OnPublish(aliasedMsg(1, []byte("first-message!!!")), 0); err != nil {
+		t.Fatal(err)
+	}
+	w, scratch, ok := e.NextWorkLaneInto(0, nil)
+	if !ok {
+		t.Fatal("no work")
+	}
+	if len(scratch) == 0 || &w.Msg.Payload[0] != &scratch[0] {
+		t.Fatal("NextWorkLaneInto did not back the payload with the caller's scratch")
+	}
+	// Overwrite the ring slot the message came from.
+	if err := e.OnPublish(aliasedMsg(2, []byte("secnd-message!!!")), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w.Msg.Payload, []byte("first-message!!!")) {
+		t.Errorf("payload = %q after slot reuse, want the copied original", w.Msg.Payload)
+	}
+
+	// The grown scratch is reused: popping the next job must not allocate
+	// fresh payload storage.
+	w2, scratch2, ok := e.NextWorkLaneInto(0, scratch)
+	if !ok {
+		t.Fatal("no second work")
+	}
+	if &scratch2[0] != &scratch[0] {
+		t.Error("scratch was reallocated despite sufficient capacity")
+	}
+	if !bytes.Equal(w2.Msg.Payload, []byte("secnd-message!!!")) {
+		t.Errorf("second payload = %q", w2.Msg.Payload)
+	}
+}
+
+// TestAppendPayloadReuseAndShrink: the scratch/slot recycling helper reuses
+// capacity in the common case and lets go of jumbo buffers once payloads
+// return to normal size.
+func TestAppendPayloadReuseAndShrink(t *testing.T) {
+	// Reuse: a fitting destination keeps its backing array.
+	dst := make([]byte, 0, 64)
+	got := appendPayload(dst, []byte("abc"))
+	if cap(got) != 64 {
+		t.Errorf("fitting buffer reallocated: cap %d, want 64", cap(got))
+	}
+	if string(got) != "abc" {
+		t.Errorf("got %q", got)
+	}
+	// Growth: a jumbo payload grows the buffer and is copied intact.
+	jumbo := make([]byte, payloadKeepCap+1)
+	jumbo[payloadKeepCap] = 0x7F
+	got = appendPayload(got, jumbo)
+	if !bytes.Equal(got, jumbo) {
+		t.Error("jumbo payload corrupted")
+	}
+	// Shrink: once oversized, the next normal payload releases the jumbo
+	// backing instead of pinning it forever.
+	got = appendPayload(got, []byte("tiny"))
+	if cap(got) > payloadKeepCap {
+		t.Errorf("oversized buffer retained: cap %d > payloadKeepCap %d", cap(got), payloadKeepCap)
+	}
+	if string(got) != "tiny" {
+		t.Errorf("got %q", got)
+	}
+}

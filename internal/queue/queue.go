@@ -9,7 +9,6 @@
 package queue
 
 import (
-	"container/heap"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -78,55 +77,67 @@ type edfItem struct {
 }
 
 // EDF is a binary-heap Earliest-Deadline-First queue. Ties on deadline break
-// by insertion order, keeping the schedule deterministic. The zero value is
-// ready to use. EDF is not safe for concurrent use.
+// by insertion order, keeping the schedule deterministic. The heap is sifted
+// directly over the typed item slice rather than through container/heap,
+// whose any-valued Push/Pop box every job on the hot path (two heap
+// allocations per scheduled message). The zero value is ready to use. EDF is
+// not safe for concurrent use.
 type EDF struct {
 	items []edfItem
 	seq   uint64
 }
 
 var _ Queue = (*EDF)(nil)
-var _ heap.Interface = (*edfHeap)(nil)
 
 // NewEDF returns an empty EDF queue.
 func NewEDF() *EDF { return &EDF{} }
 
-// edfHeap adapts EDF's storage to container/heap.
-type edfHeap EDF
-
-func (h *edfHeap) Len() int { return len(h.items) }
-
-func (h *edfHeap) Less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
+func (q *EDF) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
 	if a.job.Deadline != b.job.Deadline {
 		return a.job.Deadline < b.job.Deadline
 	}
 	return a.seq < b.seq
 }
 
-func (h *edfHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-
-func (h *edfHeap) Push(x any) {
-	it, ok := x.(edfItem)
-	if !ok {
-		panic(fmt.Sprintf("queue: pushed non-item %T", x))
+// up sifts the item at i toward the root until its parent is due no later.
+func (q *EDF) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
 	}
-	h.items = append(h.items, it)
 }
 
-func (h *edfHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = edfItem{}
-	h.items = old[:n-1]
-	return it
+// down sifts the item at i toward the leaves until both children are due no
+// earlier.
+func (q *EDF) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		next := left
+		if right := left + 1; right < n && q.less(right, left) {
+			next = right
+		}
+		if !q.less(next, i) {
+			return
+		}
+		q.items[i], q.items[next] = q.items[next], q.items[i]
+		i = next
+	}
 }
 
 // Push enqueues a job ordered by absolute deadline.
 func (q *EDF) Push(j Job) {
 	q.seq++
-	heap.Push((*edfHeap)(q), edfItem{job: j, seq: q.seq})
+	q.items = append(q.items, edfItem{job: j, seq: q.seq})
+	q.up(len(q.items) - 1)
 }
 
 // Pop removes and returns the job with the earliest deadline.
@@ -134,10 +145,12 @@ func (q *EDF) Pop() (Job, bool) {
 	if len(q.items) == 0 {
 		return Job{}, false
 	}
-	it, ok := heap.Pop((*edfHeap)(q)).(edfItem)
-	if !ok {
-		panic("queue: heap returned non-item")
-	}
+	it := q.items[0]
+	n := len(q.items) - 1
+	q.items[0] = q.items[n]
+	q.items[n] = edfItem{}
+	q.items = q.items[:n]
+	q.down(0)
 	return it.job, true
 }
 

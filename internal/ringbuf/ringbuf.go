@@ -53,6 +53,24 @@ func (r *Ring[T]) Push(v T) (idx uint64, evicted bool) {
 	return idx, false
 }
 
+// PushInPlace advances the ring exactly like Push but lets the caller
+// construct the new entry directly in the slot: fill receives the slot still
+// holding the evicted (or zero) value, so the caller can harvest its heap
+// allocations — this is how the engine's Message and Backup Buffers reuse
+// payload storage across ring wrap-arounds instead of allocating per
+// message. fill must not call back into the ring.
+func (r *Ring[T]) PushInPlace(fill func(*T)) (idx uint64, evicted bool) {
+	idx = r.first + uint64(r.n)
+	if r.n == len(r.buf) {
+		r.first++
+		evicted = true
+	} else {
+		r.n++
+	}
+	fill(&r.buf[r.pos(idx)])
+	return idx, evicted
+}
+
 // Get returns the entry at stable index idx, or false if it was evicted or
 // never pushed.
 func (r *Ring[T]) Get(idx uint64) (T, bool) {

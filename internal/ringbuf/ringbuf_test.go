@@ -211,3 +211,53 @@ func BenchmarkRingPush(b *testing.B) {
 		r.Push(payload)
 	}
 }
+
+// TestPushInPlaceMatchesPush: PushInPlace must advance indices, evictions,
+// and contents exactly like Push — it only changes who writes the slot.
+func TestPushInPlaceMatchesPush(t *testing.T) {
+	a, b := New[int](3), New[int](3)
+	for i := 0; i < 7; i++ {
+		v := i * 10
+		idxA, evA := a.Push(v)
+		idxB, evB := b.PushInPlace(func(slot *int) { *slot = v })
+		if idxA != idxB || evA != evB {
+			t.Fatalf("push %d: Push = (%d, %v), PushInPlace = (%d, %v)", i, idxA, evA, idxB, evB)
+		}
+	}
+	if a.Len() != b.Len() || a.FirstIndex() != b.FirstIndex() {
+		t.Fatalf("rings diverged: len %d/%d first %d/%d", a.Len(), b.Len(), a.FirstIndex(), b.FirstIndex())
+	}
+	for i := a.FirstIndex(); i < a.NextIndex(); i++ {
+		va, _ := a.Get(i)
+		vb, ok := b.Get(i)
+		if !ok || va != vb {
+			t.Errorf("Get(%d) = %d vs %d (ok=%v)", i, va, vb, ok)
+		}
+	}
+}
+
+// TestPushInPlaceExposesEvictedValue: fill receives the slot still holding
+// the evicted entry, so callers can harvest its allocations before
+// overwriting — the contract the engine's payload recycling relies on.
+func TestPushInPlaceExposesEvictedValue(t *testing.T) {
+	r := New[[]byte](2)
+	r.Push(append(make([]byte, 0, 128), 'a'))
+	r.Push([]byte{'b'})
+	var harvested int
+	idx, evicted := r.PushInPlace(func(slot *[]byte) {
+		harvested = cap(*slot) // the evicted 'a' entry's storage
+		*slot = append((*slot)[:0], 'c')
+	})
+	if !evicted || idx != 2 {
+		t.Fatalf("idx, evicted = %d, %v; want 2, true", idx, evicted)
+	}
+	if harvested != 128 {
+		t.Errorf("fill saw cap %d, want the evicted slot's 128", harvested)
+	}
+	if v, ok := r.Get(2); !ok || string(v) != "c" || cap(v) != 128 {
+		t.Errorf("Get(2) = %q (cap %d, ok=%v), want reused 128-cap storage", v, cap(v), ok)
+	}
+	if _, ok := r.Get(0); ok {
+		t.Error("evicted index still readable")
+	}
+}

@@ -1,0 +1,47 @@
+// Pooled wire.Frame lifecycle.
+//
+// Session loops receive one frame at a time, handle it synchronously, and
+// receive the next — a textbook reuse pattern. GetFrame/PutFrame back that
+// pattern with a sync.Pool so frames (and the payload/topic storage they
+// accrete via Conn.RecvInto) recirculate across sessions instead of being
+// reallocated per connection, with capacity caps so one jumbo frame cannot
+// park megabytes in the pool forever.
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Capacity a pooled frame may keep between uses. Oversized buffers (grown
+// by a rare jumbo payload or subscription list) are dropped at PutFrame so
+// the pool converges on workload-sized frames.
+const (
+	pooledPayloadCap = 64 << 10
+	pooledTopicsCap  = 4096
+)
+
+var framePool = sync.Pool{New: func() any { return new(wire.Frame) }}
+
+// GetFrame returns a reusable Frame from the package pool. Pair with
+// PutFrame when the frame is no longer referenced.
+func GetFrame() *wire.Frame { return framePool.Get().(*wire.Frame) }
+
+// PutFrame resets f and returns it to the pool, retaining (capped) payload
+// and topic-list capacity for the next user. The caller must not touch f —
+// nor any payload decoded into it in copy mode — after PutFrame.
+func PutFrame(f *wire.Frame) {
+	payload := f.Msg.Payload
+	topics := f.Topics
+	if cap(payload) > pooledPayloadCap {
+		payload = nil
+	}
+	if cap(topics) > pooledTopicsCap {
+		topics = nil
+	}
+	*f = wire.Frame{}
+	f.Msg.Payload = payload[:0]
+	f.Topics = topics[:0]
+	framePool.Put(f)
+}

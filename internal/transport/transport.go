@@ -28,6 +28,20 @@ import (
 // indicate corruption and poison the connection.
 const MaxFrameSize = 4 << 20
 
+// Receive-buffer shrink policy: rbuf grows to the largest frame seen (up to
+// MaxFrameSize), but one jumbo frame must not pin megabytes per connection
+// for the life of the process. Once rbuf exceeds RbufSoftCap and
+// rbufShrinkAfter consecutive frames fit within the cap, it shrinks back.
+const (
+	// RbufSoftCap is the receive-buffer size a connection will pin
+	// indefinitely without shrinking.
+	RbufSoftCap = 64 << 10
+	// rbufShrinkAfter is how many consecutive sub-cap frames must arrive
+	// before an oversized rbuf is released (hysteresis, so alternating
+	// sizes don't thrash the allocator).
+	rbufShrinkAfter = 64
+)
+
 // ErrFrameTooLarge reports a length prefix above MaxFrameSize.
 var ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrameSize")
 
@@ -48,6 +62,7 @@ type Conn struct {
 
 	writeMu sync.Mutex
 	wbuf    []byte
+	hdrBuf  [4]byte // header scratch; a local would escape through nc.Write
 
 	// Write batching (see EnableBatching); all fields guarded by writeMu.
 	batchWin      time.Duration
@@ -58,8 +73,14 @@ type Conn struct {
 	werr          error // sticky batch-flush failure
 
 	// read state: single reader assumed.
-	lenBuf [4]byte
-	rbuf   []byte
+	lenBuf   [4]byte
+	rbuf     []byte
+	rShrink  int  // consecutive sub-cap reads while rbuf is oversized
+	zeroCopy bool // RecvInto aliases payloads into rbuf (see SetZeroCopy)
+
+	// closed flips before the underlying conn closes so Send cannot accept
+	// (and silently drop) frames into a batch nobody will ever flush.
+	closed atomic.Bool
 }
 
 // NewConn wraps a net.Conn with frame codecs.
@@ -75,22 +96,60 @@ func (c *Conn) SetMeter(m *Meter) { c.meter = m }
 func (c *Conn) Send(f *wire.Frame) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	if c.werr != nil {
-		return c.werr
+	if err := c.sendableLocked(); err != nil {
+		return err
 	}
 	body, err := wire.Encode(c.wbuf[:0], f)
 	if err != nil {
 		return fmt.Errorf("transport: encode %v: %w", f.Type, err)
 	}
 	c.wbuf = body // reuse the grown buffer next time
+	return c.sendBodyLocked(f.Type, body)
+}
+
+// SendEncoded writes one pre-encoded frame body (the bytes wire.Encode or a
+// wire.Append*Body helper produces) through the same ordering, batching, and
+// size rules as Send. The caller keeps ownership of body: it is fully
+// consumed — copied into the batch buffer or written to the conn — before
+// SendEncoded returns, so the caller may reuse it immediately. This is what
+// lets the broker encode a dispatched message once and fan the identical
+// bytes out to every subscriber of the topic.
+func (c *Conn) SendEncoded(body []byte) error {
+	if len(body) == 0 {
+		return errors.New("transport: empty frame body")
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := c.sendableLocked(); err != nil {
+		return err
+	}
+	return c.sendBodyLocked(wire.Type(body[0]), body)
+}
+
+// sendableLocked reports whether the connection can accept another frame,
+// surfacing the sticky error and turning post-Close sends into errors
+// instead of silent enqueues.
+func (c *Conn) sendableLocked() error {
+	if c.werr != nil {
+		return c.werr
+	}
+	if c.closed.Load() {
+		c.werr = fmt.Errorf("transport: send on closed connection: %w", net.ErrClosed)
+		return c.werr
+	}
+	return nil
+}
+
+// sendBodyLocked routes one encoded frame: batchable frames coalesce when
+// batching is on; control frames (and every frame on an unbatched conn) keep
+// per-conn order by draining anything pending, then writing through.
+func (c *Conn) sendBodyLocked(t wire.Type, body []byte) error {
 	if len(body) > MaxFrameSize {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
 	}
-	if c.batchWin > 0 && batchable(f.Type) {
+	if c.batchWin > 0 && batchable(t) {
 		return c.enqueueLocked(body)
 	}
-	// Control frames (and every frame on an unbatched conn) keep per-conn
-	// order: drain anything pending, then write through.
 	if err := c.flushLocked(); err != nil {
 		return err
 	}
@@ -99,9 +158,8 @@ func (c *Conn) Send(f *wire.Frame) error {
 
 // writeFrameLocked writes one length-prefixed frame immediately.
 func (c *Conn) writeFrameLocked(body []byte) error {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := c.nc.Write(hdr[:]); err != nil {
+	binary.LittleEndian.PutUint32(c.hdrBuf[:], uint32(len(body)))
+	if _, err := c.nc.Write(c.hdrBuf[:]); err != nil {
 		return fmt.Errorf("transport: write header: %w", err)
 	}
 	if _, err := c.nc.Write(body); err != nil {
@@ -116,53 +174,144 @@ func (c *Conn) writeFrameLocked(body []byte) error {
 
 // Recv reads one frame, blocking until a frame arrives, the deadline set via
 // SetReadDeadline expires, or the connection closes. Only one goroutine may
-// call Recv at a time.
+// call Recv at a time. The returned frame owns freshly allocated storage;
+// hot paths use RecvInto instead.
 func (c *Conn) Recv() (*wire.Frame, error) {
-	if _, err := io.ReadFull(c.nc, c.lenBuf[:]); err != nil {
-		return nil, fmt.Errorf("transport: read header: %w", err)
-	}
-	n := binary.LittleEndian.Uint32(c.lenBuf[:])
-	if n > MaxFrameSize {
-		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
-	}
-	if cap(c.rbuf) < int(n) {
-		c.rbuf = make([]byte, n)
-	}
-	body := c.rbuf[:n]
-	if _, err := io.ReadFull(c.nc, body); err != nil {
-		return nil, fmt.Errorf("transport: read body: %w", err)
+	body, err := c.readBody()
+	if err != nil {
+		return nil, err
 	}
 	f, err := wire.Decode(body)
 	if err != nil {
 		return nil, fmt.Errorf("transport: decode: %w", err)
 	}
+	c.countRecv(len(body))
+	return f, nil
+}
+
+// RecvInto reads one frame into f, which the caller owns and reuses across
+// calls — the steady-state-allocation-free receive path. By default payload
+// bytes are copied into f's recycled storage; with SetZeroCopy they alias
+// the connection's receive buffer and stay valid only until the next
+// Recv/RecvInto. Only one goroutine may receive at a time.
+func (c *Conn) RecvInto(f *wire.Frame) error {
+	body, err := c.readBody()
+	if err != nil {
+		return err
+	}
+	mode := wire.ModeCopy
+	if c.zeroCopy {
+		mode = wire.ModeAlias
+	}
+	if err := wire.DecodeInto(body, f, mode); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	c.countRecv(len(body))
+	return nil
+}
+
+// SetZeroCopy makes RecvInto alias message payloads directly into the
+// connection's receive buffer instead of copying them out. The aliased
+// payload is overwritten by the next receive, so only callers that fully
+// consume (or copy) each frame before reading the next may enable this —
+// the broker's session loops do. Call before the first receive.
+func (c *Conn) SetZeroCopy(on bool) { c.zeroCopy = on }
+
+// readBody reads one length-prefixed frame body into the connection's
+// receive buffer, growing it on demand and shrinking it per the RbufSoftCap
+// policy, and returns the buffer slice holding exactly the body.
+func (c *Conn) readBody() ([]byte, error) {
+	if _, err := io.ReadFull(c.nc, c.lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("transport: read header: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(c.lenBuf[:]))
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	switch {
+	case cap(c.rbuf) < n:
+		c.rbuf = make([]byte, n)
+		c.rShrink = 0
+	case cap(c.rbuf) > RbufSoftCap && n <= RbufSoftCap:
+		// Oversized by some earlier jumbo frame; shrink once the workload
+		// has demonstrably moved back under the cap.
+		c.rShrink++
+		if c.rShrink >= rbufShrinkAfter {
+			c.rbuf = make([]byte, RbufSoftCap)
+			c.rShrink = 0
+		}
+	default:
+		c.rShrink = 0
+	}
+	body := c.rbuf[:n]
+	if _, err := io.ReadFull(c.nc, body); err != nil {
+		return nil, fmt.Errorf("transport: read body: %w", err)
+	}
+	return body, nil
+}
+
+func (c *Conn) countRecv(n int) {
 	if c.meter != nil {
 		c.meter.FramesRecv.Add(1)
 		c.meter.BytesRecv.Add(uint64(4 + n))
 	}
-	return f, nil
 }
 
 // SetReadDeadline bounds the next Recv.
 func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
 
+// closeLockWait bounds how long Close waits for a concurrent writer before
+// giving up on the final flush; closing the net.Conn then unsticks any
+// writer blocked inside Write.
+const closeLockWait = 100 * time.Millisecond
+
 // Close closes the underlying connection; a blocked Recv returns an error.
 // A pending batch gets one bounded best-effort flush first, so orderly
-// shutdowns do not drop coalesced frames; if another goroutine holds the
-// write lock (possibly blocked in a Write), closing the net.Conn unsticks it.
+// shutdowns do not drop coalesced frames. Unlike a bare TryLock, Close
+// waits (bounded) for a concurrent writer to release the write lock — a
+// Send mid-enqueue no longer causes the whole pending batch to be silently
+// dropped — and marks the connection closed first, so a Send racing with
+// Close returns an error instead of enqueueing onto a batch nobody will
+// flush.
 func (c *Conn) Close() error {
+	c.closed.Store(true)
 	if c.writeMu.TryLock() {
-		if len(c.pending) > 0 {
-			c.nc.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
-			c.flushLocked()
-			c.nc.SetWriteDeadline(time.Time{})
-		}
-		if c.timer != nil {
-			c.timer.Stop()
-		}
+		// Uncontended fast path: flush and mark inline.
+		c.closeLocked()
 		c.writeMu.Unlock()
+		return c.nc.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.writeMu.Lock()
+		defer c.writeMu.Unlock()
+		c.closeLocked()
+	}()
+	select {
+	case <-done:
+	case <-time.After(closeLockWait):
+		// A writer is wedged inside Write holding the lock; closing the
+		// conn below unsticks it, and the goroutine above then finishes the
+		// bookkeeping (its flush fails fast against the closed conn).
 	}
 	return c.nc.Close()
+}
+
+// closeLocked drains the pending batch best-effort, stops the batch timer,
+// and makes the write error sticky so later Sends fail fast.
+func (c *Conn) closeLocked() {
+	if len(c.pending) > 0 && c.werr == nil {
+		c.nc.SetWriteDeadline(time.Now().Add(closeLockWait))
+		c.flushLocked()
+		c.nc.SetWriteDeadline(time.Time{})
+	}
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	if c.werr == nil {
+		c.werr = fmt.Errorf("transport: connection closed: %w", net.ErrClosed)
+	}
 }
 
 // RemoteAddr exposes the peer address for logs.

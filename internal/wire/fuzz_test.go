@@ -8,9 +8,11 @@ import (
 	"repro/internal/spec"
 )
 
-// FuzzDecode checks that Decode never panics on arbitrary input and that
+// FuzzDecode checks that Decode never panics on arbitrary input, that
 // anything it accepts re-encodes to the identical byte string (the codec
-// is canonical).
+// is canonical), and that DecodeInto — in both copy and alias modes, into a
+// dirty reused frame — accepts exactly the same inputs and produces the
+// same frame, byte for byte.
 func FuzzDecode(f *testing.F) {
 	seeds := []*Frame{
 		{Type: TypePublish, Msg: Message{Topic: 1, Seq: 2, Created: 3, Payload: []byte("abcdef0123456789")}},
@@ -34,6 +36,22 @@ func FuzzDecode(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := Decode(data)
+		for _, mode := range []DecodeMode{ModeCopy, ModeAlias} {
+			dst := dirtyFrame()
+			intoErr := DecodeInto(data, dst, mode)
+			if (err == nil) != (intoErr == nil) {
+				t.Fatalf("accept mismatch on %x: Decode err=%v, DecodeInto(mode=%d) err=%v", data, err, mode, intoErr)
+			}
+			if intoErr == nil {
+				re, reErr := Encode(nil, dst)
+				if reErr != nil {
+					t.Fatalf("DecodeInto(mode=%d) frame %+v does not re-encode: %v", mode, dst, reErr)
+				}
+				if !reflect.DeepEqual(re, data) {
+					t.Fatalf("DecodeInto(mode=%d) not canonical:\n in  %x\n out %x", mode, data, re)
+				}
+			}
+		}
 		if err != nil {
 			return // rejected input is fine; panics are not
 		}
