@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race short cover cover-check bench bench-compare repro fuzz fmt fmtcheck vet ci clean
+.PHONY: all build test race short cover cover-check bench bench-compare repro fuzz chaos chaos-smoke fmt fmtcheck vet ci clean
 
 all: build vet fmtcheck test
 
 # Mirror of .github/workflows/ci.yml for local runs.
-ci: build vet fmtcheck test race fuzz
+ci: build vet fmtcheck test race chaos-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,11 @@ race:
 cover:
 	$(GO) test -short -cover ./...
 
-# Coverage ratchet over the packages the dispatch-lane work hardens. The
-# floor only moves up: raise COVER_MIN when coverage durably improves.
-COVER_PKGS = ./internal/queue/ ./internal/broker/ ./internal/transport/
+# Coverage ratchet over the packages the dispatch-lane and chaos work
+# harden. The floor only moves up: raise COVER_MIN when coverage durably
+# improves.
+COVER_PKGS = ./internal/queue/ ./internal/broker/ ./internal/transport/ \
+	./internal/failover/ ./internal/netsim/ ./internal/faultinject/ ./internal/chaos/
 COVER_MIN ?= 84.0
 cover-check:
 	$(GO) test -coverprofile=coverage.out $(COVER_PKGS)
@@ -62,6 +64,16 @@ repro:
 fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzParseTopics -fuzztime 30s ./internal/spec/
+
+# Scripted fault-injection scenarios over real TCP (internal/chaos).
+# chaos-smoke is the PR gate (Smoke subset, well under two minutes);
+# chaos is the full suite the nightly workflow runs under -race.
+# Replay a failure with FRAME_CHAOS_SEED=<seed from the failure log>.
+chaos:
+	$(GO) test -race -count=1 -v -run 'TestChaosScenarios|TestScenarioNames' ./internal/chaos/
+
+chaos-smoke:
+	$(GO) test -short -count=1 ./internal/chaos/ ./internal/faultinject/
 
 fmt:
 	gofmt -l -w .

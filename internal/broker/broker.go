@@ -120,6 +120,10 @@ type Options struct {
 	// liveness, queue depth), and /debug/pprof. The listener binds in New
 	// (so AdminAddr() is dialable immediately) and serves from Start.
 	AdminAddr string
+	// ExtraGauges, when non-nil, contributes additional scrape-time samples
+	// to /metrics — e.g. a fault injector's counters during chaos runs. It
+	// is called on every scrape and must be safe for concurrent use.
+	ExtraGauges func() []obsv.Sample
 	// DisableZeroCopy turns off zero-copy receive: by default the broker's
 	// session loops decode message payloads as aliases into each
 	// connection's receive buffer (safe because a session handles one frame
@@ -415,8 +419,18 @@ func (b *Broker) scrapeGauges() []obsv.Sample {
 				Value: l.wait.Quantile(0.99).Seconds(), Help: "p99 enqueue-to-pop wait, by dispatch lane."},
 		)
 	}
+	if b.opts.ExtraGauges != nil {
+		samples = append(samples, b.opts.ExtraGauges()...)
+	}
 	return samples
 }
+
+// SetPeerAddr points the broker at its peer after construction but before
+// Start — for clusters where both brokers bind ephemeral ports, so neither
+// address is known until both brokers exist. Pass a non-empty placeholder
+// PeerAddr to New so the engine keeps its replication duty, then fix it up
+// here once the peer's Addr() is known.
+func (b *Broker) SetPeerAddr(addr string) { b.opts.PeerAddr = addr }
 
 // Role returns the broker's current role (Backup becomes Primary after
 // promotion).
@@ -617,6 +631,7 @@ func (b *Broker) handleFrame(conn *transport.Conn, f *wire.Frame) error {
 		return nil
 	case wire.TypePrune:
 		b.obs.PrunesReceived.Inc()
+		b.obs.Trace(obsv.TraceEvent{Stage: obsv.StagePrune, Topic: uint64(f.Topic), Seq: f.Seq, At: b.opts.Clock()})
 		lane := b.lane(f.Topic)
 		lane.mu.Lock()
 		b.engine.OnPrune(f.Topic, f.Seq)
@@ -754,6 +769,12 @@ func (b *Broker) workerLoop(laneIdx int) {
 			if popped > w.Job.Deadline {
 				b.lateDispatches.Add(1)
 				b.obs.LateDispatches.Inc()
+			}
+			if w.Job.Recovery {
+				// Recovery dispatches come from the Backup Buffer; tracing
+				// them lets the chaos invariants prove no discarded copy is
+				// ever re-dispatched (Table 3, Recovery step 1).
+				b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageRecoveryDispatch, Topic: uint64(w.Msg.Topic), Seq: w.Msg.Seq, At: popped})
 			}
 			b.dispatch(w, &wk)
 			done := b.opts.Clock()

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"math/rand"
 	"os"
 	"sync"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/spec"
 	"repro/internal/transport"
 )
@@ -95,11 +97,16 @@ func TestChaosSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short")
 	}
+	// The kill timing is the only random input; seeding it from
+	// FRAME_CHAOS_SEED makes a nightly failure replayable.
+	seed := faultinject.SeedFromEnv(0x50a4)
+	t.Logf("seed=%d (override with FRAME_CHAOS_SEED to replay)", seed)
+	rng := rand.New(rand.NewSource(seed))
 	deadline := time.Now().Add(soakBudget())
 	cycle := 0
 	for time.Now().Before(deadline) || cycle == 0 {
 		cycle++
-		runChaosCycle(t, cycle)
+		runChaosCycle(t, cycle, rng)
 		if t.Failed() {
 			return
 		}
@@ -107,7 +114,7 @@ func TestChaosSoak(t *testing.T) {
 	t.Logf("chaos soak: %d kill/promote cycles clean", cycle)
 }
 
-func runChaosCycle(t *testing.T, cycle int) {
+func runChaosCycle(t *testing.T, cycle int, rng *rand.Rand) {
 	t.Helper()
 	topics := chaosTopics(8)
 	ids := make([]spec.TopicID, len(topics))
@@ -197,8 +204,10 @@ func runChaosCycle(t *testing.T, cycle int) {
 		}()
 	}
 
-	// Let load build, then fail-stop the Primary.
-	time.Sleep(100 * time.Millisecond)
+	// Let load build, then fail-stop the Primary. The window is jittered
+	// from the soak seed so successive cycles kill at different phases of
+	// the batcher timers and lane workers.
+	time.Sleep(time.Duration(60+rng.Intn(80)) * time.Millisecond)
 	primary.Stop()
 	primaryStopped = true
 

@@ -1,0 +1,265 @@
+// Package chaos scripts fault timelines against a real FRAME cluster — a
+// Primary, a Backup, a publisher proxy, and a subscriber wired over a
+// fault-injected transport (package faultinject) — and checks the paper's
+// guarantees end to end while links delay, drop, stall, partition, and
+// brokers crash:
+//
+//   - consecutive losses never exceed the topic's tolerance Li (§III,
+//     Lemma 1's purpose),
+//   - per-topic FIFO holds on every delivery link, modulo a per-scenario
+//     budget of "rewinds" for the legitimate re-runs that crash recovery
+//     and publisher resend introduce,
+//   - recovery never dispatches a discarded Backup Buffer entry, and never
+//     dispatches any entry twice (Table 3, Recovery step 1),
+//   - Backup promotion completes within the failure detector's configured
+//     polling bound (§IV-A).
+//
+// Every run derives all fault randomness from one seed; a failed scenario
+// prints it, and exporting FRAME_CHAOS_SEED with that value replays the
+// same fault lottery. Run scenarios via `go test ./internal/chaos/` (the
+// `-short` flag selects the PR-gating smoke subset) or the frame-chaos
+// command.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/client"
+	"repro/internal/failover"
+	"repro/internal/faultinject"
+	"repro/internal/obsv"
+	"repro/internal/spec"
+)
+
+// Node names every scenario topology uses; faults are scripted against the
+// directed links between them.
+const (
+	NodePrimary = "primary"
+	NodeBackup  = "backup"
+	NodePub     = "pub"
+	NodeSub     = "sub"
+)
+
+// PromotionSlack is added to the detector's WorstCaseDetection when
+// asserting the promotion bound: the bound itself is the detector math, the
+// slack absorbs scheduler jitter on loaded CI runners. A promotion that
+// needs more than this is a real protocol stall, not noise.
+const PromotionSlack = 500 * time.Millisecond
+
+// Load describes the publish pump: Count messages per topic interleaved
+// round-robin, one message every Interval.
+type Load struct {
+	Count       int
+	Interval    time.Duration
+	PayloadSize int
+}
+
+// Step is one timeline entry: at offset At from scenario start, run Do.
+type Step struct {
+	At   time.Duration
+	Desc string
+	Do   func(*Env) error
+}
+
+// Invariants tunes the post-run checks for one scenario.
+type Invariants struct {
+	// RequireAll asserts every published sequence number was delivered.
+	RequireAll bool
+	// MaxConsecutiveLoss is the Li bound asserted per topic.
+	MaxConsecutiveLoss int
+	// AllowedRewinds bounds, per delivery link, how many times the
+	// arriving sequence may fall below its predecessor. Fault-free
+	// scenarios allow 0 (strict FIFO); crash scenarios allow the re-runs
+	// that recovery dispatch + publisher resend legitimately create.
+	AllowedRewinds int
+	// ExpectPromotion asserts the Backup promoted (within the detector's
+	// polling bound of the first fault) — or, when false, that it did not.
+	ExpectPromotion bool
+}
+
+// Scenario is one scripted chaos run.
+type Scenario struct {
+	Name        string
+	Description string
+	// Smoke marks the scenario as part of the PR-gating smoke subset
+	// (selected by `go test -short`).
+	Smoke      bool
+	Topics     []spec.Topic
+	Load       Load
+	Script     []Step
+	Invariants Invariants
+	// Detector overrides the failure detector tuning; zero means the
+	// runner's fast default.
+	Detector failover.Config
+}
+
+// Env is the live cluster a scenario's steps act on.
+type Env struct {
+	Net     *faultinject.Network
+	Primary *broker.Broker
+	Backup  *broker.Broker
+	Pub     *client.Publisher
+	Sub     *client.Subscriber
+	Clock   func() time.Duration
+	Tr      *Transcript
+
+	detector failover.Config
+
+	mu             sync.Mutex
+	faultAt        time.Duration // first broker-affecting fault
+	faultSet       bool
+	promotedAt     time.Duration
+	promoted       bool
+	primaryCrashed bool
+	publishErrs    int
+}
+
+// markFault records the instant the first broker-affecting fault landed;
+// the promotion bound is measured from it.
+func (e *Env) markFault() {
+	e.mu.Lock()
+	if !e.faultSet {
+		e.faultSet = true
+		e.faultAt = e.Clock()
+	}
+	e.mu.Unlock()
+}
+
+// CrashPrimary fail-stops the Primary: every connection touching it is
+// reset (TCP RST where possible) and the broker process state is stopped —
+// the network face of the paper's SIGKILL runs.
+func CrashPrimary() func(*Env) error {
+	return func(e *Env) error {
+		e.markFault()
+		n := e.Net.ResetNode(NodePrimary)
+		e.Tr.Logf(e.Clock(), "crash: reset %d primary connections", n)
+		e.Primary.Stop()
+		e.mu.Lock()
+		e.primaryCrashed = true
+		e.mu.Unlock()
+		e.Tr.Logf(e.Clock(), "crash: primary stopped")
+		return nil
+	}
+}
+
+// RaisePartition cuts the named node groups off from each other; held
+// frames deliver after Heal, new dials are refused meanwhile.
+func RaisePartition(name string, a, b []string) func(*Env) error {
+	return func(e *Env) error {
+		if containsBroker(a) && containsBroker(b) {
+			e.markFault()
+		}
+		e.Net.Partition(name, a, b)
+		e.Tr.Logf(e.Clock(), "partition %q raised: %v | %v", name, a, b)
+		return nil
+	}
+}
+
+func containsBroker(nodes []string) bool {
+	for _, n := range nodes {
+		if n == NodePrimary || n == NodeBackup {
+			return true
+		}
+	}
+	return false
+}
+
+// HealPartition removes the named cut.
+func HealPartition(name string) func(*Env) error {
+	return func(e *Env) error {
+		e.Net.Heal(name)
+		e.Tr.Logf(e.Clock(), "partition %q healed", name)
+		return nil
+	}
+}
+
+// SetLink installs a fault program on the directed link from → to.
+func SetLink(from, to string, f faultinject.Faults) func(*Env) error {
+	return func(e *Env) error {
+		e.Net.SetLink(from, to, f)
+		e.Tr.Logf(e.Clock(), "link %s->%s faults: latency=%v jitter=%v bw=%d drop=%.2f stall=%v",
+			from, to, f.Latency, f.Jitter, f.BandwidthBps, f.Drop, f.Stall)
+		return nil
+	}
+}
+
+// ClearLink removes the fault program on the directed link from → to.
+func ClearLink(from, to string) func(*Env) error {
+	return func(e *Env) error {
+		e.Net.ClearLink(from, to)
+		e.Tr.Logf(e.Clock(), "link %s->%s faults cleared", from, to)
+		return nil
+	}
+}
+
+// ResetLink abruptly kills every live connection dialed from → to.
+func ResetLink(from, to string) func(*Env) error {
+	return func(e *Env) error {
+		n := e.Net.ResetLink(from, to)
+		e.Tr.Logf(e.Clock(), "reset %d connections on %s->%s", n, from, to)
+		return nil
+	}
+}
+
+// chaosTopic builds the scenarios' standard topic: loss-intolerant, with a
+// retention window (Ni) large enough that publisher resend can cover any
+// realistic crash window on a CI runner.
+func chaosTopic(id spec.TopicID, retention int) spec.Topic {
+	return spec.Topic{
+		ID:            id,
+		Category:      -1,
+		Period:        20 * time.Millisecond,
+		Deadline:      time.Second,
+		LossTolerance: 0,
+		Retention:     retention,
+		Destination:   spec.DestEdge,
+		PayloadSize:   16,
+	}
+}
+
+// traceRecorder collects the Backup's prune / recovery-dispatch lifecycle
+// events for the Table 3 invariant.
+type traceRecorder struct {
+	mu        sync.Mutex
+	pruned    map[[2]uint64]bool // (topic, seq) discarded by a prune
+	recovered map[[2]uint64]int  // (topic, seq) -> recovery dispatch count
+}
+
+func newTraceRecorder() *traceRecorder {
+	return &traceRecorder{
+		pruned:    make(map[[2]uint64]bool),
+		recovered: make(map[[2]uint64]int),
+	}
+}
+
+func (r *traceRecorder) note(ev obsv.TraceEvent) {
+	key := [2]uint64{ev.Topic, ev.Seq}
+	r.mu.Lock()
+	switch ev.Stage {
+	case obsv.StagePrune:
+		r.pruned[key] = true
+	case obsv.StageRecoveryDispatch:
+		r.recovered[key]++
+	}
+	r.mu.Unlock()
+}
+
+// violations returns the Table 3 breaches: discarded entries that were
+// recovery-dispatched anyway, and entries recovery-dispatched twice.
+func (r *traceRecorder) violations() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var v []string
+	for key, n := range r.recovered {
+		if r.pruned[key] {
+			v = append(v, fmt.Sprintf("discarded entry (topic %d, seq %d) was recovery-dispatched", key[0], key[1]))
+		}
+		if n > 1 {
+			v = append(v, fmt.Sprintf("entry (topic %d, seq %d) recovery-dispatched %d times", key[0], key[1], n))
+		}
+	}
+	return v
+}

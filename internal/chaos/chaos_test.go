@@ -1,0 +1,83 @@
+package chaos_test
+
+import (
+	"hash/fnv"
+	"os"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/faultinject"
+)
+
+// defaultSeed gives each scenario a stable per-name seed so runs are
+// reproducible by default; FRAME_CHAOS_SEED overrides it for replay.
+func defaultSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64()>>1) ^ 0x5eed
+}
+
+// TestChaosScenarios runs every shipped scenario over the real TCP
+// transport. Under -short only the Smoke subset runs (the PR-gating
+// configuration); the nightly chaos workflow runs everything.
+func TestChaosScenarios(t *testing.T) {
+	artifacts := os.Getenv("FRAME_CHAOS_ARTIFACTS")
+	for _, sc := range chaos.All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if testing.Short() && !sc.Smoke {
+				t.Skip("not in the -short smoke subset")
+			}
+			seed := faultinject.SeedFromEnv(defaultSeed(sc.Name))
+			res, err := chaos.Run(sc, chaos.RunOptions{Seed: seed, ArtifactsDir: artifacts})
+			if err != nil {
+				t.Fatalf("seed=%d setup: %v (replay: FRAME_CHAOS_SEED=%d)", seed, err, seed)
+			}
+			t.Logf("seed=%d published=%d delivered=%d dups=%d frames=%d publishErrs=%d elapsed=%v",
+				res.Seed, res.Published, res.Delivered, res.Duplicates, res.Frames, res.PublishErrs, res.Elapsed)
+			if !res.Passed() {
+				t.Logf("replay: FRAME_CHAOS_SEED=%d go test -count=1 -run 'TestChaosScenarios/%s' ./internal/chaos/",
+					res.Seed, sc.Name)
+				if res.ArtifactPath != "" {
+					t.Logf("artifact: %s", res.ArtifactPath)
+				}
+				for _, line := range res.Transcript.Tail(40) {
+					t.Log(line)
+				}
+				for _, f := range res.Failures {
+					t.Errorf("invariant violated: %s", f)
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioNamesUniqueAndSmokeSubset guards the registry shape the CI
+// pipelines depend on: unique names, at least six scenarios, and a
+// non-empty smoke subset for PR gating.
+func TestScenarioNamesUniqueAndSmokeSubset(t *testing.T) {
+	seen := map[string]bool{}
+	smoke := 0
+	all := chaos.All()
+	if len(all) < 6 {
+		t.Fatalf("%d scenarios shipped, want >= 6", len(all))
+	}
+	for _, sc := range all {
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Smoke {
+			smoke++
+		}
+		if _, err := chaos.Find(sc.Name); err != nil {
+			t.Errorf("Find(%q): %v", sc.Name, err)
+		}
+	}
+	if smoke == 0 {
+		t.Error("no Smoke scenarios — the PR gate would run nothing")
+	}
+	if _, err := chaos.Find("no-such-scenario"); err == nil {
+		t.Error("Find accepted an unknown name")
+	}
+}

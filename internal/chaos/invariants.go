@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/client"
+	"repro/internal/spec"
+)
+
+// linkID identifies one delivery stream: a topic arriving over one broker
+// link. FIFO is a per-link property — the two broker connections a
+// subscriber holds may legitimately interleave.
+type linkID struct {
+	topic  spec.TopicID
+	source string
+}
+
+// linkRecord tracks the arrival order on one delivery stream. A "rewind" is
+// an arrival whose sequence is below its predecessor's: zero on a healthy
+// link; crash recovery plus publisher resend legitimately restart the
+// ascending run a bounded number of times.
+type linkRecord struct {
+	frames  int
+	prev    uint64
+	rewinds int
+}
+
+// Recorder sees every dispatch frame the subscriber receives (duplicates
+// included, via client.SubscriberOptions.OnFrame) and maintains the
+// per-link order records the FIFO invariant is checked against.
+type Recorder struct {
+	mu    sync.Mutex
+	links map[linkID]*linkRecord
+}
+
+// NewRecorder returns an empty frame recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{links: make(map[linkID]*linkRecord)}
+}
+
+// Note ingests one received frame. Safe for concurrent use; wire it as the
+// subscriber's OnFrame callback.
+func (r *Recorder) Note(d client.Delivery) {
+	id := linkID{topic: d.Msg.Topic, source: d.Source}
+	r.mu.Lock()
+	lr := r.links[id]
+	if lr == nil {
+		lr = &linkRecord{}
+		r.links[id] = lr
+	}
+	lr.frames++
+	if d.Msg.Seq < lr.prev {
+		lr.rewinds++
+	}
+	if d.Msg.Seq > lr.prev {
+		lr.prev = d.Msg.Seq
+	}
+	r.mu.Unlock()
+}
+
+// TotalFrames returns how many dispatch frames arrived across all links.
+func (r *Recorder) TotalFrames() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, lr := range r.links {
+		n += lr.frames
+	}
+	return n
+}
+
+// fifoViolations returns one message per link whose rewind count exceeds
+// the scenario's budget.
+func (r *Recorder) fifoViolations(allowed int) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var v []string
+	for id, lr := range r.links {
+		if lr.rewinds > allowed {
+			v = append(v, fmt.Sprintf("FIFO broken on topic %d from %s: %d rewinds (budget %d) over %d frames",
+				id.topic, id.source, lr.rewinds, allowed, lr.frames))
+		}
+	}
+	return v
+}
+
+// checkInvariants evaluates every post-run assertion and returns the
+// failures (empty means the scenario passed).
+func (e *Env) checkInvariants(sc Scenario, rec *Recorder, traces *traceRecorder) []string {
+	var failures []string
+	inv := sc.Invariants
+
+	e.mu.Lock()
+	faultAt, faultSet := e.faultAt, e.faultSet
+	promoted, promotedAt := e.promoted, e.promotedAt
+	e.mu.Unlock()
+
+	for _, tp := range sc.Topics {
+		last := e.Pub.LastSeq(tp.ID)
+		got := e.Sub.Received(tp.ID)
+		if last == 0 {
+			failures = append(failures, fmt.Sprintf("topic %d: nothing was published — load pump broken", tp.ID))
+			continue
+		}
+		if got == 0 {
+			failures = append(failures, fmt.Sprintf("topic %d: published %d, delivered none", tp.ID, last))
+			continue
+		}
+		if inv.RequireAll && got != last {
+			failures = append(failures, fmt.Sprintf("topic %d: published %d, delivered %d distinct", tp.ID, last, got))
+		}
+		if loss := e.Sub.MaxConsecutiveLoss(tp.ID, last); loss > inv.MaxConsecutiveLoss {
+			failures = append(failures, fmt.Sprintf("topic %d: max consecutive loss %d exceeds Li bound %d",
+				tp.ID, loss, inv.MaxConsecutiveLoss))
+		}
+	}
+
+	failures = append(failures, rec.fifoViolations(inv.AllowedRewinds)...)
+	failures = append(failures, traces.violations()...)
+
+	bound := e.detector.WorstCaseDetection() + PromotionSlack
+	switch {
+	case inv.ExpectPromotion && !promoted:
+		failures = append(failures, "backup never promoted")
+	case inv.ExpectPromotion && !faultSet:
+		failures = append(failures, "scenario expects promotion but scripted no broker fault")
+	case inv.ExpectPromotion:
+		if d := promotedAt - faultAt; d > bound {
+			failures = append(failures, fmt.Sprintf("promotion took %v after the fault, bound %v (detector worst case %v + %v slack)",
+				d, bound, e.detector.WorstCaseDetection(), PromotionSlack))
+		}
+	case !inv.ExpectPromotion && promoted:
+		failures = append(failures, "backup promoted in a scenario that must not promote")
+	}
+	return failures
+}

@@ -1,0 +1,212 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/spec"
+)
+
+// All returns every shipped scenario. Names are stable — CI artifacts and
+// replay commands reference them.
+func All() []Scenario {
+	return []Scenario{
+		crashPromote(),
+		partitionReplication(),
+		flapRecovery(),
+		deltaBBLatency(),
+		bandwidthSubscriber(),
+		resetStorm(),
+		dropReplication(),
+	}
+}
+
+// Find returns the named scenario.
+func Find(name string) (Scenario, error) {
+	for _, sc := range All() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("chaos: unknown scenario %q", name)
+}
+
+// crashPromote is the baseline §IV-A run: fail-stop the Primary mid-load,
+// the Backup must promote within the polling bound, and between recovery
+// dispatch and publisher resend every message must still arrive.
+func crashPromote() Scenario {
+	return Scenario{
+		Name:        "crash-promote",
+		Description: "fail-stop the Primary mid-load; Backup promotes and no message is lost",
+		Smoke:       true,
+		Topics:      []spec.Topic{chaosTopic(1, 256)},
+		Load:        Load{Count: 250, Interval: 2 * time.Millisecond, PayloadSize: 16},
+		Script: []Step{
+			{At: 150 * time.Millisecond, Desc: "crash primary", Do: CrashPrimary()},
+		},
+		Invariants: Invariants{
+			RequireAll:         true,
+			MaxConsecutiveLoss: 0,
+			AllowedRewinds:     2, // recovery run + resend run restart the sequence
+			ExpectPromotion:    true,
+		},
+	}
+}
+
+// partitionReplication cuts Primary↔Backup while the Primary keeps serving:
+// the Backup's probes die, it promotes (split-brain by design — FRAME has
+// no quorum), and the subscriber's dedup absorbs the double dispatch. After
+// the heal, held replication frames deliver and nothing is lost or
+// reordered per link.
+func partitionReplication() Scenario {
+	return Scenario{
+		Name:        "partition-replication",
+		Description: "partition Primary from Backup during replication; dedup absorbs the split-brain",
+		Smoke:       true,
+		Topics:      []spec.Topic{chaosTopic(1, 256)},
+		Load:        Load{Count: 250, Interval: 2 * time.Millisecond, PayloadSize: 16},
+		Script: []Step{
+			{At: 120 * time.Millisecond, Desc: "partition primary|backup",
+				Do: RaisePartition("repl", []string{NodePrimary}, []string{NodeBackup})},
+			{At: 400 * time.Millisecond, Desc: "heal partition", Do: HealPartition("repl")},
+		},
+		Invariants: Invariants{
+			RequireAll:         true,
+			MaxConsecutiveLoss: 0,
+			AllowedRewinds:     2, // the promoted Backup's recovery run rewinds its link once
+			ExpectPromotion:    true,
+		},
+	}
+}
+
+// flapRecovery crashes the Primary and then flaps (stalls/unstalls) both
+// client links to the Backup exactly while recovery, resend, and fresh
+// traffic are converging on it. Stalls hold frames without dropping them,
+// so after the final heal everything must still arrive in per-link order.
+func flapRecovery() Scenario {
+	stall := faultinject.Faults{Stall: true}
+	return Scenario{
+		Name:        "flap-recovery",
+		Description: "crash the Primary, then flap the publisher and subscriber links during recovery",
+		Topics:      []spec.Topic{chaosTopic(1, 256)},
+		Load:        Load{Count: 300, Interval: 2 * time.Millisecond, PayloadSize: 16},
+		Script: []Step{
+			{At: 120 * time.Millisecond, Desc: "crash primary", Do: CrashPrimary()},
+			{At: 170 * time.Millisecond, Desc: "stall pub->backup", Do: SetLink(NodePub, NodeBackup, stall)},
+			{At: 220 * time.Millisecond, Desc: "unstall pub->backup", Do: ClearLink(NodePub, NodeBackup)},
+			{At: 250 * time.Millisecond, Desc: "stall backup->sub", Do: SetLink(NodeBackup, NodeSub, stall)},
+			{At: 320 * time.Millisecond, Desc: "unstall backup->sub", Do: ClearLink(NodeBackup, NodeSub)},
+			{At: 350 * time.Millisecond, Desc: "stall pub->backup again", Do: SetLink(NodePub, NodeBackup, stall)},
+			{At: 420 * time.Millisecond, Desc: "unstall pub->backup again", Do: ClearLink(NodePub, NodeBackup)},
+		},
+		Invariants: Invariants{
+			RequireAll:         true,
+			MaxConsecutiveLoss: 0,
+			AllowedRewinds:     2,
+			ExpectPromotion:    true,
+		},
+	}
+}
+
+// deltaBBLatency inflates the replication link's ΔBB with latency and
+// jitter, then crashes the Primary: replicas lag the dispatch path the way
+// Lemma 1 budgets for, and the copies still in flight at the crash must be
+// covered by the publisher's retained-ring resend.
+func deltaBBLatency() Scenario {
+	return Scenario{
+		Name:        "delta-bb-latency",
+		Description: "latency+jitter on the replication link (inflated ΔBB), then a Primary crash",
+		Topics:      []spec.Topic{chaosTopic(1, 256)},
+		Load:        Load{Count: 250, Interval: 2 * time.Millisecond, PayloadSize: 16},
+		Script: []Step{
+			{At: 0, Desc: "add 15ms±10ms to primary->backup",
+				Do: SetLink(NodePrimary, NodeBackup, faultinject.Faults{Latency: 15 * time.Millisecond, Jitter: 10 * time.Millisecond})},
+			{At: 200 * time.Millisecond, Desc: "crash primary", Do: CrashPrimary()},
+		},
+		Invariants: Invariants{
+			RequireAll:         true,
+			MaxConsecutiveLoss: 0,
+			AllowedRewinds:     2,
+			ExpectPromotion:    true,
+		},
+	}
+}
+
+// bandwidthSubscriber squeezes the Primary→subscriber link through a
+// bandwidth cap with no broker fault at all: frames queue up behind the
+// pacer, then flood out when the runner heals the world for the drain —
+// and the fault-free guarantees (strict per-link FIFO, zero loss, no
+// promotion) must hold exactly through both regimes.
+func bandwidthSubscriber() Scenario {
+	return Scenario{
+		Name:        "bandwidth-subscriber",
+		Description: "bandwidth-cap the subscriber link; slow delivery, zero loss, strict FIFO",
+		Smoke:       true,
+		Topics:      []spec.Topic{chaosTopic(1, 64), chaosTopic(2, 64)},
+		Load:        Load{Count: 150, Interval: 2 * time.Millisecond, PayloadSize: 64},
+		Script: []Step{
+			{At: 0, Desc: "cap primary->sub at 64KiB/s",
+				Do: SetLink(NodePrimary, NodeSub, faultinject.Faults{BandwidthBps: 64 << 10})},
+		},
+		Invariants: Invariants{
+			RequireAll:         true,
+			MaxConsecutiveLoss: 0,
+			AllowedRewinds:     0,
+			ExpectPromotion:    false,
+		},
+	}
+}
+
+// resetStorm repeatedly RSTs the publisher's connections to the Primary.
+// The publisher's own detector declares the Primary dead and fails over to
+// the (unpromoted) Backup, resending its retained ring; the Backup — whose
+// probes of the Primary still succeed — must NOT promote, yet every message
+// must arrive via one broker or the other.
+func resetStorm() Scenario {
+	steps := []Step{}
+	for i := 0; i < 5; i++ {
+		steps = append(steps, Step{
+			At:   time.Duration(100+25*i) * time.Millisecond,
+			Desc: fmt.Sprintf("reset pub->primary (%d/5)", i+1),
+			Do:   ResetLink(NodePub, NodePrimary),
+		})
+	}
+	return Scenario{
+		Name:        "reset-storm",
+		Description: "repeated RSTs on the publisher's Primary links force a client-side fail-over without promotion",
+		Topics:      []spec.Topic{chaosTopic(1, 512)},
+		Load:        Load{Count: 300, Interval: 2 * time.Millisecond, PayloadSize: 16},
+		Script:      steps,
+		Invariants: Invariants{
+			RequireAll:         true,
+			MaxConsecutiveLoss: 0,
+			AllowedRewinds:     1, // the resend run restarts the backup link's sequence once
+			ExpectPromotion:    false,
+		},
+	}
+}
+
+// dropReplication runs the whole load with a 35% frame-drop lottery on the
+// replication link, then crashes the Primary: the Backup Buffer is full of
+// holes, recovery dispatches what survived, and the resend must cover the
+// rest — while the prune/recovery discipline of Table 3 still holds.
+func dropReplication() Scenario {
+	return Scenario{
+		Name:        "drop-replication",
+		Description: "35% frame drop on the replication link, then a Primary crash",
+		Topics:      []spec.Topic{chaosTopic(1, 512)},
+		Load:        Load{Count: 250, Interval: 2 * time.Millisecond, PayloadSize: 16},
+		Script: []Step{
+			{At: 0, Desc: "drop 35% of primary->backup frames",
+				Do: SetLink(NodePrimary, NodeBackup, faultinject.Faults{Drop: 0.35})},
+			{At: 200 * time.Millisecond, Desc: "crash primary", Do: CrashPrimary()},
+		},
+		Invariants: Invariants{
+			RequireAll:         true,
+			MaxConsecutiveLoss: 0,
+			AllowedRewinds:     2,
+			ExpectPromotion:    true,
+		},
+	}
+}

@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Transcript is the timestamped event log of one scenario run. On failure
+// it is written (with the seed and a ready-to-paste replay command) as the
+// artifact that makes a CI red locally reproducible.
+type Transcript struct {
+	Scenario string
+	Seed     int64
+
+	mu     sync.Mutex
+	events []string
+}
+
+// Logf appends one timestamped event.
+func (tr *Transcript) Logf(at time.Duration, format string, args ...any) {
+	tr.mu.Lock()
+	tr.events = append(tr.events, fmt.Sprintf("%10s  %s", at.Round(100*time.Microsecond), fmt.Sprintf(format, args...)))
+	tr.mu.Unlock()
+}
+
+// String renders the full transcript, replay header included.
+func (tr *Transcript) String() string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario: %s\n", tr.Scenario)
+	fmt.Fprintf(&b, "seed: %d\n", tr.Seed)
+	fmt.Fprintf(&b, "replay: FRAME_CHAOS_SEED=%d go test -count=1 -run 'TestChaosScenarios/%s' ./internal/chaos/\n",
+		tr.Seed, tr.Scenario)
+	b.WriteString("events:\n")
+	for _, e := range tr.events {
+		b.WriteString("  ")
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Tail returns the last n events, for inline test output.
+func (tr *Transcript) Tail(n int) []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.events) <= n {
+		return append([]string(nil), tr.events...)
+	}
+	return append([]string(nil), tr.events[len(tr.events)-n:]...)
+}
+
+// WriteFile persists the transcript (plus the run's failures) under dir and
+// returns the artifact path.
+func (tr *Transcript) WriteFile(dir string, failures []string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-seed-%d.txt", tr.Scenario, tr.Seed))
+	var b strings.Builder
+	b.WriteString(tr.String())
+	if len(failures) > 0 {
+		b.WriteString("failures:\n")
+		for _, f := range failures {
+			fmt.Fprintf(&b, "  %s\n", f)
+		}
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -240,6 +240,8 @@ type Delivery struct {
 	Latency time.Duration
 	// Duplicate marks re-deliveries (already counted once).
 	Duplicate bool
+	// Source is the broker address this copy arrived from, as dialed.
+	Source string
 }
 
 // SubscriberOptions configures a subscriber.
@@ -258,6 +260,11 @@ type SubscriberOptions struct {
 	// OnDeliver, if non-nil, runs for every distinct delivery (not for
 	// duplicates) from the receiving goroutine.
 	OnDeliver func(Delivery)
+	// OnFrame, if non-nil, runs for every dispatch frame received —
+	// including duplicates (Duplicate set) — from the receiving goroutine.
+	// Chaos invariant checkers use it to see the raw per-link arrival
+	// stream that OnDeliver's dedup hides.
+	OnFrame func(Delivery)
 	// Logger receives operational events; nil means slog.Default.
 	Logger *slog.Logger
 }
@@ -318,15 +325,15 @@ func NewSubscriber(opts SubscriberOptions) (*Subscriber, error) {
 		}
 		conns = append(conns, conn)
 	}
-	for _, conn := range conns {
-		conn := conn
+	for i, conn := range conns {
+		conn, source := conn, opts.BrokerAddrs[i]
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
 			stop := context.AfterFunc(ctx, func() { conn.Close() })
 			defer stop()
-			s.receiveLoop(conn)
+			s.receiveLoop(conn, source)
 		}()
 	}
 	return s, nil
@@ -335,7 +342,7 @@ func NewSubscriber(opts SubscriberOptions) (*Subscriber, error) {
 // receiveLoop drains one broker link with a pooled, reused frame: each
 // dispatch is fully handled (latency recorded, OnDeliver invoked) before
 // the next receive overwrites the frame's storage.
-func (s *Subscriber) receiveLoop(conn *transport.Conn) {
+func (s *Subscriber) receiveLoop(conn *transport.Conn, source string) {
 	f := transport.GetFrame()
 	defer transport.PutFrame(f)
 	for {
@@ -345,11 +352,11 @@ func (s *Subscriber) receiveLoop(conn *transport.Conn) {
 		if f.Type != wire.TypeDispatch {
 			continue
 		}
-		s.onDispatch(f)
+		s.onDispatch(f, source)
 	}
 }
 
-func (s *Subscriber) onDispatch(f *wire.Frame) {
+func (s *Subscriber) onDispatch(f *wire.Frame, source string) {
 	now := s.opts.Clock()
 	latency := now - f.Msg.Created
 	s.mu.Lock()
@@ -358,18 +365,25 @@ func (s *Subscriber) onDispatch(f *wire.Frame) {
 		seen = make(map[uint64]bool)
 		s.seen[f.Msg.Topic] = seen
 	}
-	if seen[f.Msg.Seq] {
+	dup := seen[f.Msg.Seq]
+	if dup {
 		s.dups++
-		s.mu.Unlock()
+	} else {
+		seen[f.Msg.Seq] = true
+		s.received[f.Msg.Topic]++
+		s.latencies[f.Msg.Topic] = append(s.latencies[f.Msg.Topic], latency)
+	}
+	cbDeliver := s.opts.OnDeliver
+	cbFrame := s.opts.OnFrame
+	s.mu.Unlock()
+	if cbFrame != nil {
+		cbFrame(Delivery{Msg: f.Msg, Latency: latency, Duplicate: dup, Source: source})
+	}
+	if dup {
 		return
 	}
-	seen[f.Msg.Seq] = true
-	s.received[f.Msg.Topic]++
-	s.latencies[f.Msg.Topic] = append(s.latencies[f.Msg.Topic], latency)
-	cb := s.opts.OnDeliver
-	s.mu.Unlock()
-	if cb != nil {
-		cb(Delivery{Msg: f.Msg, Latency: latency})
+	if cbDeliver != nil {
+		cbDeliver(Delivery{Msg: f.Msg, Latency: latency, Source: source})
 	}
 }
 

@@ -1,0 +1,36 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// TestIngressBandwidth pins that a bandwidth cap paces the ingress
+// direction (listener→dialer, applied at the dialer's read side), not
+// just egress writes.
+func TestIngressBandwidth(t *testing.T) {
+	n, cli, srv := pair(t, 99)
+	n.SetLink("srv", "cli", Faults{BandwidthBps: 8 << 10})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			if _, err := readFrame(cli); err != nil {
+				t.Errorf("read %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	body := make([]byte, 1024)
+	for i := 0; i < 10; i++ {
+		if _, err := srv.Write(frame(body)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	<-done
+	// 10 KiB at 8 KiB/s => ~1.25s; require well over half.
+	if elapsed := time.Since(start); elapsed < 600*time.Millisecond {
+		t.Fatalf("10KiB crossed an 8KiB/s ingress link in %v", elapsed)
+	}
+}

@@ -1,0 +1,46 @@
+package faultinject
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestTCPOwnerResolution pins the ephemeral-port case: a listener bound
+// to 127.0.0.1:0 must still be attributed to its registered node so link
+// rules match conns dialed to the resolved address.
+func TestTCPOwnerResolution(t *testing.T) {
+	n := New(&transport.TCP{}, 7)
+	ln, err := n.Node("srv").Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	n.SetLink("srv", "cli", Faults{Latency: 200 * time.Millisecond})
+	cli, err := n.Node("cli").Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv := <-accepted
+	defer srv.Close()
+	start := time.Now()
+	if _, err := srv.Write(frame([]byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(cli); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 200*time.Millisecond {
+		t.Fatalf("ingress frame arrived after %v — owner not resolved, faults bypassed", d)
+	}
+}

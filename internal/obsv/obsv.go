@@ -158,6 +158,11 @@ const (
 	StageAck                        // delivery work completed
 	StagePromote                    // Backup promoted itself to Primary
 	StageRecovery                   // recovery dispatch generated at promotion
+
+	// Coordination-protocol stages (Table 3), used by the chaos invariant
+	// checkers to prove recovery never re-dispatches a discarded entry.
+	StagePrune            // Backup Buffer entry discarded on the Primary's prune
+	StageRecoveryDispatch // recovery job dispatched from the Backup Buffer
 )
 
 // String returns the stage label.
@@ -179,6 +184,10 @@ func (s Stage) String() string {
 		return "promote"
 	case StageRecovery:
 		return "recovery"
+	case StagePrune:
+		return "prune"
+	case StageRecoveryDispatch:
+		return "recovery_dispatch"
 	default:
 		return fmt.Sprintf("Stage(%d)", int(s))
 	}

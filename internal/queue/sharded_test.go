@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/spec"
 )
 
@@ -77,7 +78,9 @@ func modelMin(lane []modelItem) int {
 // implies both invariants the broker relies on: EDF order within a lane and
 // per-topic FIFO.
 func TestShardedEDFMatchesModel(t *testing.T) {
-	rng := rand.New(rand.NewSource(0x5eed))
+	seed := faultinject.SeedFromEnv(0x5eed)
+	t.Logf("seed=%d (override with FRAME_CHAOS_SEED to replay)", seed)
+	rng := rand.New(rand.NewSource(seed))
 	for trial := 0; trial < 150; trial++ {
 		lanes := 1 + rng.Intn(8)
 		q := NewShardedEDF(lanes)
@@ -196,7 +199,9 @@ func checkFIFO(t *testing.T, trial int, lastPopSeq map[spec.TopicID]uint64, j Jo
 // TestShardedEDFRouting checks that Push lands every job in LaneFor's lane
 // and PeekLane only ever surfaces that lane's topics.
 func TestShardedEDFRouting(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	seed := faultinject.SeedFromEnv(7)
+	t.Logf("seed=%d (override with FRAME_CHAOS_SEED to replay)", seed)
+	rng := rand.New(rand.NewSource(seed))
 	const lanes = 5
 	q := NewShardedEDF(lanes)
 	perLane := make([]int, lanes)
