@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short cover cover-check bench bench-compare repro fuzz chaos chaos-smoke fmt fmtcheck vet ci clean
+.PHONY: all build test race short cover cover-check bench bench-compare bench-json repro fuzz chaos chaos-smoke fmt fmtcheck vet ci clean
 
 all: build vet fmtcheck test
 
@@ -41,21 +41,36 @@ cover-check:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Hot-path regression guard: repeat BenchmarkDispatchLanes{1,4,8} and
-# BenchmarkFanout{1,8,64} with allocation reporting and summarize with
-# benchstat when it is installed (raw output otherwise). Acceptance bars:
-# ≥2x ns/op at 8 lanes vs 1 on a multi-core runner, and 0 allocs/op on both
-# the dispatch and fan-out paths — benchstat's B/op and allocs/op columns
-# are the alloc-regression signal.
+# Hot-path regression guard: repeat BenchmarkDispatchLanes{1,4,8},
+# BenchmarkFanout{1,8,64} (+ the FanoutAsync/Egress variants), with
+# allocation reporting and summarize with benchstat when it is installed
+# (raw output otherwise). Acceptance bars: ≥2x ns/op at 8 lanes vs 1 on a
+# multi-core runner, and 0 allocs/op on the dispatch, fan-out, and egress
+# paths — benchstat's B/op and allocs/op columns are the alloc-regression
+# signal.
 BENCH_COUNT ?= 6
 bench-compare:
-	$(GO) test -run '^$$' -bench 'BenchmarkDispatchLanes|BenchmarkFanout' -benchmem -count $(BENCH_COUNT) . | tee dispatch_lanes.bench
+	$(GO) test -run '^$$' -bench 'BenchmarkDispatchLanes|BenchmarkFanout|BenchmarkEgress' -benchmem -count $(BENCH_COUNT) . | tee dispatch_lanes.bench
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat dispatch_lanes.bench; \
 	else \
 		echo "benchstat not installed; raw samples are in dispatch_lanes.bench"; \
 		echo "(go install golang.org/x/perf/cmd/benchstat@latest to summarize)"; \
 	fi
+
+# Machine-readable egress baseline: run the egress-path benches once and
+# record {name, ns_per_op, bytes_per_op, allocs_per_op} rows in
+# BENCH_EGRESS.json. Commit the refreshed file when the egress hot path
+# changes deliberately; allocs_per_op must stay 0.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkFanoutAsync|BenchmarkEgressWritev|BenchmarkFanout64$$' -benchmem -count 1 . | tee egress.bench
+	@awk 'BEGIN { print "[" } \
+		/^Benchmark/ { \
+			if (n++) printf ",\n"; \
+			printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $$1, $$2, $$3, $$5, $$7 \
+		} \
+		END { print "\n]" }' egress.bench > BENCH_EGRESS.json
+	@echo "wrote BENCH_EGRESS.json"
 
 # Same via the CLI harness, with CSV artifacts.
 repro:
@@ -87,4 +102,4 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -rf artifacts test_output.txt bench_output.txt coverage.out dispatch_lanes.bench
+	rm -rf artifacts test_output.txt bench_output.txt coverage.out dispatch_lanes.bench egress.bench

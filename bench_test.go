@@ -19,6 +19,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -494,3 +495,201 @@ func benchmarkFanout(b *testing.B, subs int) {
 func BenchmarkFanout1(b *testing.B)  { benchmarkFanout(b, 1) }
 func BenchmarkFanout8(b *testing.B)  { benchmarkFanout(b, 8) }
 func BenchmarkFanout64(b *testing.B) { benchmarkFanout(b, 64) }
+
+// blockingConn is a net.Conn whose writes wedge until its gate closes or
+// the conn is closed — the bench-side stand-in for a subscriber socket that
+// stopped reading.
+type blockingConn struct {
+	gate   <-chan struct{}
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newBlockingConn(gate <-chan struct{}) *blockingConn {
+	return &blockingConn{gate: gate, closed: make(chan struct{})}
+}
+
+func (c *blockingConn) Read([]byte) (int, error) { return 0, io.EOF }
+func (c *blockingConn) Write(p []byte) (int, error) {
+	select {
+	case <-c.gate:
+	case <-c.closed:
+	}
+	return 0, io.ErrClosedPipe
+}
+func (c *blockingConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+func (c *blockingConn) LocalAddr() net.Addr              { return nil }
+func (c *blockingConn) RemoteAddr() net.Addr             { return nil }
+func (c *blockingConn) SetDeadline(time.Time) error      { return nil }
+func (c *blockingConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *blockingConn) SetWriteDeadline(time.Time) error { return nil }
+
+// benchmarkFanoutAsync is the asynchronous counterpart of benchmarkFanout:
+// the dispatch loop encodes once into a pooled FrameBuf and enqueues a
+// retained reference onto each subscriber's egress ring; per-subscriber
+// writer goroutines drain the rings with vectored writes. This is exactly
+// what broker.dispatch does per Work item, so the measured cost is the EDF
+// lane's per-message share. Acceptance: 0 allocs/op steady state, and
+// ns/op at 64 subscribers no worse than the synchronous BenchmarkFanout64.
+func benchmarkFanoutAsync(b *testing.B, subs int, stalled bool) {
+	sink := &discardConn{}
+	gate := make(chan struct{})
+	defer close(gate)
+	egs := make([]*transport.Egress, 0, subs+1)
+	var meter transport.EgressMeter
+	for i := 0; i < subs; i++ {
+		egs = append(egs, transport.NewEgress(transport.NewConn(sink),
+			transport.EgressConfig{Depth: 4096, Shed: true, Meter: &meter}))
+	}
+	if stalled {
+		// One ring wedged behind a socket that never completes a write: it
+		// must absorb and shed without slowing the loop below.
+		egs = append(egs, transport.NewEgress(transport.NewConn(newBlockingConn(gate)),
+			transport.EgressConfig{Depth: 64, Shed: true, Meter: &meter}))
+	}
+	m := wire.Message{Topic: 7, Seq: 0, Created: time.Millisecond, Payload: make([]byte, 16)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Seq++
+		fb := transport.GetFrameBuf()
+		fb.B = wire.AppendDispatchBody(fb.B[:0], &m, time.Duration(i))
+		for _, eg := range egs {
+			fb.Retain()
+			eg.Enqueue(fb, 7, spec.LossUnbounded)
+		}
+		fb.Release()
+	}
+	b.StopTimer()
+	for _, eg := range egs {
+		eg.Close()
+		eg.Conn().Close()
+	}
+	for _, eg := range egs {
+		eg.Wait()
+	}
+	if meter.Enqueued.Load() == 0 {
+		b.Fatal("async fan-out enqueued nothing")
+	}
+}
+
+// BenchmarkFanoutAsync{8,64} sweep fan-out widths through the egress path;
+// BenchmarkFanoutAsync64Stalled adds a wedged 65th subscriber to show the
+// enqueue cost does not degrade when a sibling's socket stops draining.
+func BenchmarkFanoutAsync8(b *testing.B)         { benchmarkFanoutAsync(b, 8, false) }
+func BenchmarkFanoutAsync64(b *testing.B)        { benchmarkFanoutAsync(b, 64, false) }
+func BenchmarkFanoutAsync64Stalled(b *testing.B) { benchmarkFanoutAsync(b, 64, true) }
+
+// BenchmarkEgressWritev measures the lossless egress pipeline end to end:
+// blocking mode (no shedding), one ring, writer batching frames into
+// net.Buffers vectored flushes. ns/op is the full enqueue→writev cost per
+// frame; allocs/op must be 0 once the pool is warm.
+func BenchmarkEgressWritev(b *testing.B) {
+	sink := &discardConn{}
+	var meter transport.EgressMeter
+	eg := transport.NewEgress(transport.NewConn(sink),
+		transport.EgressConfig{Depth: 1024, Shed: false, Meter: &meter})
+	m := wire.Message{Topic: 3, Seq: 0, Created: time.Millisecond, Payload: make([]byte, 16)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Seq++
+		fb := transport.GetFrameBuf()
+		fb.B = wire.AppendDispatchBody(fb.B[:0], &m, time.Duration(i))
+		eg.Enqueue(fb, 3, 0)
+	}
+	b.StopTimer()
+	for deadline := time.Now().Add(5 * time.Second); meter.Flushed.Load() < uint64(b.N); {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	eg.Close()
+	eg.Conn().Close()
+	eg.Wait()
+	if got := meter.Flushed.Load(); got != uint64(b.N) {
+		b.Fatalf("flushed %d frames, want %d (blocking mode must not drop)", got, b.N)
+	}
+	if meter.Batches.Load() == 0 {
+		b.Fatal("writer never flushed a batch")
+	}
+}
+
+// fanoutP99 runs `rounds` encode+enqueue fan-out iterations over egs and
+// returns the p99 per-iteration latency. The iteration is what an EDF lane
+// executes per dispatched message, so this is the dispatch-latency quantile
+// the ISSUE's acceptance criterion speaks about.
+func fanoutP99(egs []*transport.Egress, rounds int) time.Duration {
+	durs := make([]time.Duration, rounds)
+	m := wire.Message{Topic: 7, Seq: 0, Created: time.Millisecond, Payload: make([]byte, 16)}
+	for i := range durs {
+		m.Seq++
+		start := time.Now()
+		fb := transport.GetFrameBuf()
+		fb.B = wire.AppendDispatchBody(fb.B[:0], &m, 0)
+		for _, eg := range egs {
+			fb.Retain()
+			eg.Enqueue(fb, 7, spec.LossUnbounded)
+		}
+		fb.Release()
+		durs[i] = time.Since(start)
+	}
+	sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+	return durs[len(durs)*99/100]
+}
+
+// TestStalledSubscriberFanoutIsolation is the acceptance criterion for the
+// asynchronous egress: with one artificially stalled subscriber in the
+// fan-out set, p99 dispatch latency for the remaining subscribers must stay
+// within 2x of the no-stall run (plus a floor absorbing scheduler jitter on
+// loaded CI runners — the latencies here are single-digit microseconds).
+func TestStalledSubscriberFanoutIsolation(t *testing.T) {
+	const subs, rounds = 8, 4000
+	newSet := func(extra net.Conn) []*transport.Egress {
+		egs := make([]*transport.Egress, 0, subs+1)
+		for i := 0; i < subs; i++ {
+			egs = append(egs, transport.NewEgress(transport.NewConn(&discardConn{}),
+				transport.EgressConfig{Depth: 4096, Shed: true}))
+		}
+		if extra != nil {
+			egs = append(egs, transport.NewEgress(transport.NewConn(extra),
+				transport.EgressConfig{Depth: 64, Shed: true}))
+		}
+		return egs
+	}
+	shut := func(egs []*transport.Egress) {
+		for _, eg := range egs {
+			eg.Close()
+			eg.Conn().Close()
+		}
+		for _, eg := range egs {
+			eg.Wait()
+		}
+	}
+
+	base := newSet(nil)
+	fanoutP99(base, rounds) // warm pools and writers
+	p99Base := fanoutP99(base, rounds)
+	shut(base)
+
+	gate := make(chan struct{})
+	defer close(gate)
+	stalled := newSet(newBlockingConn(gate))
+	fanoutP99(stalled, rounds)
+	p99Stalled := fanoutP99(stalled, rounds)
+	shut(stalled)
+
+	limit := 2 * p99Base
+	if floor := time.Millisecond; limit < floor {
+		limit = floor
+	}
+	t.Logf("fan-out p99: no-stall %v, stalled sibling %v (limit %v)", p99Base, p99Stalled, limit)
+	if p99Stalled > limit {
+		t.Fatalf("stalled sibling degraded dispatch p99: %v > %v (2x no-stall, 1ms floor)",
+			p99Stalled, limit)
+	}
+}

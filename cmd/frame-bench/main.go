@@ -47,9 +47,11 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table4, table5, fig7, fig8, fig9, multiedge, lanescale, or all")
+		exp     = flag.String("exp", "all", "experiment: table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, or all")
 		lanes   = flag.String("lanes", "", "lanescale: comma-separated lane counts to sweep (default 1,2,4,8)")
 		batch   = flag.Duration("batch", 0, "lanescale: write-batch window for the swept brokers (0 = off)")
+		subs    = flag.Int("subs", 0, "egress: healthy subscriber count (default 4)")
+		depth   = flag.Int("egress-depth", 0, "egress: per-subscriber outbound ring depth (default 256)")
 		runs    = flag.Int("runs", 0, "repetitions per cell (default 5; paper used 10)")
 		measure = flag.Duration("measure", 0, "fault-free measurement window (default 4s; paper used 60s)")
 		crash   = flag.Duration("crash", 0, "crash-run window, crash at midpoint (default 8s)")
@@ -94,6 +96,9 @@ func run() error {
 			}
 			return experiments.RunLaneScale(cfg, experiments.LaneScaleOptions{Lanes: sweep, Batch: *batch})
 		}},
+		{"egress", func() (formatter, error) {
+			return experiments.RunEgress(cfg, experiments.EgressOptions{Subs: *subs, Depth: *depth})
+		}},
 	}
 
 	matched := *exp == "none" // -exp none: scrape-only invocation
@@ -115,7 +120,7 @@ func run() error {
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown -exp %q (want table4, table5, fig7, fig8, fig9, multiedge, lanescale, all, or none)", *exp)
+		return fmt.Errorf("unknown -exp %q (want table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, all, or none)", *exp)
 	}
 	if *scrape != "" {
 		if err := scrapeMetrics(*scrape, *csvDir); err != nil {

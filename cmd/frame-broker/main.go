@@ -33,23 +33,27 @@ func main() {
 
 func run() error {
 	var (
-		role       = flag.String("role", "primary", "broker role: primary or backup")
-		listen     = flag.String("listen", "127.0.0.1:7401", "listen address")
-		peer       = flag.String("peer", "", "peer broker address (backup for a primary, primary for a backup)")
-		topicsPath = flag.String("topics", "", "topic spec file (required)")
-		config     = flag.String("config", "frame", "scheduling configuration: frame, fcfs, or fcfs-")
-		workers    = flag.Int("workers", 0, "delivery worker threads (0 = 3×GOMAXPROCS, the paper's sizing)")
-		lanes      = flag.Int("lanes", 0, "parallel dispatch lanes; topics hash onto lanes, EDF order holds within each (0 = GOMAXPROCS for EDF, 1 for FCFS)")
-		batch      = flag.Duration("batch", 0, "write-batch window: coalesce dispatch/replicate frames up to this long per connection; keep below the minimum topic slack (0 = off)")
-		batchBytes = flag.Int("batch-bytes", 0, "flush a write batch early at this many pending bytes (0 = default 32KiB)")
-		bsEdge     = flag.Duration("bs-edge", time.Millisecond, "ΔBS for edge subscribers")
-		bsCloud    = flag.Duration("bs-cloud", 20*time.Millisecond, "ΔBS for cloud subscribers")
-		bb         = flag.Duration("bb", 50*time.Microsecond, "ΔBB broker→backup latency")
-		x          = flag.Duration("x", 50*time.Millisecond, "publisher fail-over time x")
-		diskDir    = flag.String("disk", "", "backup role: also persist replicas to this directory (Table 1 'local disk' strategy)")
-		diskSync   = flag.Bool("disk-sync", false, "fsync every persisted replica (durable, slow)")
-		adminAddr  = flag.String("admin-addr", "", "bind an HTTP admin endpoint here serving /metrics, /healthz, and /debug/pprof (empty = disabled)")
-		zeroCopy   = flag.Bool("zerocopy", true, "decode received payloads as aliases into each connection's receive buffer (zero-copy hot path); false forces a defensive copy per frame")
+		role        = flag.String("role", "primary", "broker role: primary or backup")
+		listen      = flag.String("listen", "127.0.0.1:7401", "listen address")
+		peer        = flag.String("peer", "", "peer broker address (backup for a primary, primary for a backup)")
+		topicsPath  = flag.String("topics", "", "topic spec file (required)")
+		config      = flag.String("config", "frame", "scheduling configuration: frame, fcfs, or fcfs-")
+		workers     = flag.Int("workers", 0, "delivery worker threads (0 = 3×GOMAXPROCS, the paper's sizing)")
+		lanes       = flag.Int("lanes", 0, "parallel dispatch lanes; topics hash onto lanes, EDF order holds within each (0 = GOMAXPROCS for EDF, 1 for FCFS)")
+		batch       = flag.Duration("batch", 0, "write-batch window: coalesce dispatch/replicate frames up to this long per connection; keep below the minimum topic slack (0 = off)")
+		batchBytes  = flag.Int("batch-bytes", 0, "flush a write batch early at this many pending bytes (0 = default 32KiB)")
+		bsEdge      = flag.Duration("bs-edge", time.Millisecond, "ΔBS for edge subscribers")
+		bsCloud     = flag.Duration("bs-cloud", 20*time.Millisecond, "ΔBS for cloud subscribers")
+		bb          = flag.Duration("bb", 50*time.Microsecond, "ΔBB broker→backup latency")
+		x           = flag.Duration("x", 50*time.Millisecond, "publisher fail-over time x")
+		diskDir     = flag.String("disk", "", "backup role: also persist replicas to this directory (Table 1 'local disk' strategy)")
+		diskSync    = flag.Bool("disk-sync", false, "fsync every persisted replica (durable, slow)")
+		adminAddr   = flag.String("admin-addr", "", "bind an HTTP admin endpoint here serving /metrics, /healthz, and /debug/pprof (empty = disabled)")
+		zeroCopy    = flag.Bool("zerocopy", true, "decode received payloads as aliases into each connection's receive buffer (zero-copy hot path); false forces a defensive copy per frame")
+		egressDepth = flag.Int("egress-depth", 1024, "per-subscriber outbound ring capacity in frames; dispatch enqueues and a per-subscriber writer drains with vectored writes, so a slow socket never blocks a dispatch lane (0 = synchronous fan-out, the pre-egress behavior)")
+		egressShed  = flag.Bool("egress-shed", true, "on a full egress ring, shed oldest frames within each topic's loss tolerance Li and evict the subscriber past it; false blocks the dispatcher instead (backpressure)")
+		egressStall = flag.Duration("egress-stall", 0, "fail an egress flush write making no progress for this long and drop the subscriber (0 = unbounded; the ring + shed policy already isolate the lanes)")
+		peerStall   = flag.Duration("peer-write-timeout", 0, "fail a replication-link write making no progress for this long so a wedged Backup can't block Replicator workers (0 = default 2s, negative = unbounded)")
 	)
 	flag.Parse()
 
@@ -96,21 +100,28 @@ func run() error {
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	opts := frame.BrokerOptions{
-		Engine:          engine,
-		Role:            brokerRole,
-		ListenAddr:      *listen,
-		PeerAddr:        *peer,
-		Network:         frame.NewTCPNetwork(2 * time.Second),
-		Clock:           frame.NewClock(),
-		Workers:         *workers,
-		Lanes:           *lanes,
-		BatchWindow:     *batch,
-		BatchMaxBytes:   *batchBytes,
-		Topics:          topics,
-		Logger:          logger,
-		DiskBackupDir:   *diskDir,
-		AdminAddr:       *adminAddr,
-		DisableZeroCopy: !*zeroCopy,
+		Engine:             engine,
+		Role:               brokerRole,
+		ListenAddr:         *listen,
+		PeerAddr:           *peer,
+		Network:            frame.NewTCPNetwork(2 * time.Second),
+		Clock:              frame.NewClock(),
+		Workers:            *workers,
+		Lanes:              *lanes,
+		BatchWindow:        *batch,
+		BatchMaxBytes:      *batchBytes,
+		Topics:             topics,
+		Logger:             logger,
+		DiskBackupDir:      *diskDir,
+		AdminAddr:          *adminAddr,
+		DisableZeroCopy:    !*zeroCopy,
+		EgressDepth:        *egressDepth,
+		EgressNoShed:       !*egressShed,
+		EgressWriteTimeout: *egressStall,
+		PeerWriteTimeout:   *peerStall,
+	}
+	if *egressDepth == 0 {
+		opts.EgressDepth = -1 // flag 0 = disabled; the Options sentinel is negative
 	}
 	if *diskSync {
 		opts.DiskSync = frame.DiskSyncAlways

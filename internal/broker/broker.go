@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -131,7 +132,34 @@ type Options struct {
 	// they retain). Set to force a defensive copy per received frame, e.g.
 	// while bisecting a suspected payload-ownership bug.
 	DisableZeroCopy bool
+	// EgressDepth sizes each subscriber's outbound ring (frames). Dispatch
+	// enqueues into the ring and a per-subscriber writer goroutine drains it
+	// with vectored writes, so a slow socket never blocks a dispatch lane.
+	// Zero means transport.DefaultEgressDepth; negative disables the egress
+	// path entirely and restores synchronous fan-out sends.
+	EgressDepth int
+	// EgressNoShed switches a full egress ring from the Li-aware shed/evict
+	// policy to blocking backpressure (the dispatch worker waits for ring
+	// space). Shedding is the default: it preserves lane isolation, and a
+	// topic never loses more than its loss tolerance Li consecutively
+	// before the subscriber is evicted instead.
+	EgressNoShed bool
+	// EgressWriteTimeout bounds each egress flush write; a subscriber socket
+	// stalled longer than this fails the write and drops the subscriber.
+	// Zero leaves egress writes unbounded (the ring + shed policy already
+	// isolate the lanes).
+	EgressWriteTimeout time.Duration
+	// PeerWriteTimeout bounds each write on the Primary→Backup replication
+	// link so a wedged Backup cannot block Replicator workers indefinitely.
+	// Zero means DefaultPeerWriteTimeout; negative disables the bound.
+	PeerWriteTimeout time.Duration
 }
+
+// DefaultPeerWriteTimeout is the replication-link write-stall bound when
+// Options.PeerWriteTimeout is zero: generous against transient socket
+// pressure (two orders above Lemma 1's ΔBB scale) but finite, so a wedged
+// Backup surfaces as a dead link instead of a hung worker pool.
+const DefaultPeerWriteTimeout = 2 * time.Second
 
 // Broker runs one FRAME broker.
 type Broker struct {
@@ -161,8 +189,14 @@ type Broker struct {
 
 	lanes []*dispatchLane
 
-	subsMu sync.Mutex
-	subs   map[spec.TopicID][]*transport.Conn
+	subsMu     sync.Mutex
+	subs       map[spec.TopicID][]*subscriber
+	subsByConn map[*transport.Conn]*subscriber
+
+	// egress aggregates the counters of every subscriber's outbound ring;
+	// peerStalls counts replication writes failed by the peer write bound.
+	egress     transport.EgressMeter
+	peerStalls atomic.Uint64
 
 	// lateDispatches counts dispatch jobs that started executing after
 	// their absolute deadline — the runtime-observable form of a Lemma 2
@@ -174,6 +208,31 @@ type Broker struct {
 
 	diskMu sync.Mutex
 	disk   *diskstore.Log // optional durable replica log (Backup role)
+}
+
+// subscriber is one fan-out target: the session connection plus (when the
+// egress path is enabled) its outbound ring. eg is nil only when
+// Options.EgressDepth is negative; the dispatch path then sends
+// synchronously on conn as older broker versions did.
+type subscriber struct {
+	conn *transport.Conn
+	eg   *transport.Egress
+}
+
+// egressOn reports whether dispatch fan-out goes through per-subscriber
+// egress rings.
+func (b *Broker) egressOn() bool { return b.opts.EgressDepth >= 0 }
+
+// peerWriteStall resolves Options.PeerWriteTimeout.
+func (b *Broker) peerWriteStall() time.Duration {
+	switch {
+	case b.opts.PeerWriteTimeout > 0:
+		return b.opts.PeerWriteTimeout
+	case b.opts.PeerWriteTimeout == 0:
+		return DefaultPeerWriteTimeout
+	default:
+		return 0
+	}
 }
 
 // dispatchLane is one shard of the delivery path: its mutex guards the
@@ -281,15 +340,16 @@ func New(opts Options) (*Broker, error) {
 		obs = obsv.NewBrokerMetrics()
 	}
 	b := &Broker{
-		opts:     opts,
-		log:      opts.Logger.With("broker", opts.ListenAddr, "role", opts.Role.String()),
-		ln:       ln,
-		obs:      obs,
-		started:  time.Now(),
-		engine:   engine,
-		role:     opts.Role,
-		promoted: make(chan struct{}),
-		subs:     make(map[spec.TopicID][]*transport.Conn),
+		opts:       opts,
+		log:        opts.Logger.With("broker", opts.ListenAddr, "role", opts.Role.String()),
+		ln:         ln,
+		obs:        obs,
+		started:    time.Now(),
+		engine:     engine,
+		role:       opts.Role,
+		promoted:   make(chan struct{}),
+		subs:       make(map[spec.TopicID][]*subscriber),
+		subsByConn: make(map[*transport.Conn]*subscriber),
 	}
 	b.lanes = make([]*dispatchLane, engine.Lanes())
 	for i := range b.lanes {
@@ -361,17 +421,45 @@ func (b *Broker) Health() obsv.Health {
 			peerUp = b.peer() != nil
 		}
 	}
+	es := b.egress.Snapshot()
+	queued, nsubs := b.egressQueued()
 	return obsv.Health{
-		Role:           role.String(),
-		Addr:           b.Addr(),
-		PeerAddr:       b.opts.PeerAddr,
-		PeerConnected:  peerUp,
-		Promoted:       b.opts.Role == RoleBackup && role == RolePrimary,
-		QueueDepth:     b.engine.QueueMeter().Depth(),
-		LateDispatches: b.lateDispatches.Load(),
-		UptimeSeconds:  time.Since(b.started).Seconds(),
+		Role:            role.String(),
+		Addr:            b.Addr(),
+		PeerAddr:        b.opts.PeerAddr,
+		PeerConnected:   peerUp,
+		Promoted:        b.opts.Role == RoleBackup && role == RolePrimary,
+		QueueDepth:      b.engine.QueueMeter().Depth(),
+		LateDispatches:  b.lateDispatches.Load(),
+		UptimeSeconds:   time.Since(b.started).Seconds(),
+		EgressQueued:    queued,
+		EgressSubs:      nsubs,
+		EgressShed:      es.Shed,
+		EgressEvictions: es.Evictions,
+		EgressWriteErrs: es.WriteErrs,
 	}
 }
+
+// egressQueued sums the frames currently queued across every subscriber
+// ring, and counts live subscriber sessions.
+func (b *Broker) egressQueued() (queued, subs int) {
+	b.subsMu.Lock()
+	defer b.subsMu.Unlock()
+	for _, s := range b.subsByConn {
+		subs++
+		if s.eg != nil {
+			queued += s.eg.Depth()
+		}
+	}
+	return queued, subs
+}
+
+// EgressStats snapshots the aggregate egress counters across all subscriber
+// rings.
+func (b *Broker) EgressStats() transport.EgressStats { return b.egress.Snapshot() }
+
+// PeerStalls reports replication writes failed by the peer write-stall bound.
+func (b *Broker) PeerStalls() uint64 { return b.peerStalls.Load() }
 
 // scrapeGauges contributes the scrape-time samples to /metrics: state the
 // broker derives on demand (role, queue depth, transport totals) rather
@@ -408,6 +496,30 @@ func (b *Broker) scrapeGauges() []obsv.Sample {
 		{Name: "frame_lanes", Value: float64(len(b.lanes)),
 			Help: "Configured dispatch lane count."},
 	}
+	es := b.egress.Snapshot()
+	queued, nsubs := b.egressQueued()
+	samples = append(samples,
+		obsv.Sample{Name: "frame_egress_enqueued_total", Counter: true,
+			Value: float64(es.Enqueued), Help: "Frames accepted into subscriber egress rings."},
+		obsv.Sample{Name: "frame_egress_flushed_total", Counter: true,
+			Value: float64(es.Flushed), Help: "Frames written to subscriber sockets by egress writers."},
+		obsv.Sample{Name: "frame_egress_batches_total", Counter: true,
+			Value: float64(es.Batches), Help: "Vectored egress writes issued (frames coalesced per syscall = flushed/batches)."},
+		obsv.Sample{Name: "frame_egress_shed_total", Counter: true,
+			Value: float64(es.Shed), Help: "Frames dropped by the Li-aware shed policy on full rings."},
+		obsv.Sample{Name: "frame_egress_evictions_total", Counter: true,
+			Value: float64(es.Evictions), Help: "Subscribers evicted for exceeding a topic's loss tolerance in consecutive drops."},
+		obsv.Sample{Name: "frame_egress_stalls_total", Counter: true,
+			Value: float64(es.Stalls), Help: "Egress writes failed by the write-stall deadline."},
+		obsv.Sample{Name: "frame_egress_write_errors_total", Counter: true,
+			Value: float64(es.WriteErrs), Help: "Failed egress flush writes (stalls included)."},
+		obsv.Sample{Name: "frame_egress_queued", Value: float64(queued),
+			Help: "Frames currently queued across subscriber egress rings."},
+		obsv.Sample{Name: "frame_egress_subscribers", Value: float64(nsubs),
+			Help: "Live subscriber sessions."},
+		obsv.Sample{Name: "frame_peer_write_stalls_total", Counter: true,
+			Value: float64(b.peerStalls.Load()), Help: "Replication writes failed by the peer write-stall bound."},
+	)
 	for i, l := range b.lanes {
 		label := fmt.Sprintf("lane=%q", fmt.Sprint(i))
 		samples = append(samples,
@@ -551,14 +663,24 @@ func (b *Broker) Stop() {
 
 func (b *Broker) closeSubscribers() {
 	b.subsMu.Lock()
-	defer b.subsMu.Unlock()
-	seen := make(map[*transport.Conn]bool)
-	for _, conns := range b.subs {
-		for _, c := range conns {
-			if !seen[c] {
-				seen[c] = true
-				c.Close()
-			}
+	all := make([]*subscriber, 0, len(b.subsByConn))
+	for _, s := range b.subsByConn {
+		all = append(all, s)
+	}
+	b.subsMu.Unlock()
+	// Close egresses first so their writers stop pulling frames, then the
+	// conns (unsticking any in-flight write), then wait for every writer.
+	// The session goroutines' own removeSubscriber/Wait defers run after
+	// this, against already-stopped egresses — Wait is multi-waiter safe.
+	for _, s := range all {
+		if s.eg != nil {
+			s.eg.Close()
+		}
+		s.conn.Close()
+	}
+	for _, s := range all {
+		if s.eg != nil {
+			s.eg.Wait()
 		}
 	}
 }
@@ -591,8 +713,19 @@ func (b *Broker) acceptLoop(ctx context.Context) {
 // fully (anything retained — ring-buffer entries, disk log records — is
 // copied by its owner) before the next RecvInto overwrites it.
 func (b *Broker) serveConn(ctx context.Context, conn *transport.Conn) {
-	defer conn.Close()
-	defer b.removeSubscriber(conn)
+	defer func() {
+		// Unregister before closing so no new frames enqueue, then close the
+		// conn (failing any in-flight write) and wait for the egress writer —
+		// the broker's WaitGroup thus transitively waits for every writer.
+		eg := b.removeSubscriber(conn)
+		if eg != nil {
+			eg.Close()
+		}
+		conn.Close()
+		if eg != nil {
+			eg.Wait()
+		}
+	}()
 	// Ensure blocked reads unstick on shutdown.
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
@@ -695,22 +828,46 @@ func (b *Broker) onReplica(f *wire.Frame) error {
 func (b *Broker) addSubscriber(conn *transport.Conn, topics []spec.TopicID) {
 	b.subsMu.Lock()
 	defer b.subsMu.Unlock()
+	s := b.subsByConn[conn]
+	if s == nil {
+		s = &subscriber{conn: conn}
+		if b.egressOn() {
+			s.eg = transport.NewEgress(conn, transport.EgressConfig{
+				Depth: b.opts.EgressDepth,
+				Shed:  !b.opts.EgressNoShed,
+				Stall: b.opts.EgressWriteTimeout,
+				Meter: &b.egress,
+			})
+		}
+		b.subsByConn[conn] = s
+	}
 	for _, id := range topics {
-		b.subs[id] = append(b.subs[id], conn)
+		b.subs[id] = append(b.subs[id], s)
 	}
 }
 
 // removeSubscriber drops a dead session from every topic's fan-out list so
-// Dispatchers stop attempting sends to it.
-func (b *Broker) removeSubscriber(conn *transport.Conn) {
+// Dispatchers stop attempting sends to it. It returns the session's egress
+// (nil for non-subscriber sessions or when the egress path is off) so the
+// caller can Close and Wait for the writer goroutine after closing the conn;
+// repeated calls for the same conn return nil.
+func (b *Broker) removeSubscriber(conn *transport.Conn) *transport.Egress {
 	b.subsMu.Lock()
 	defer b.subsMu.Unlock()
-	for id, conns := range b.subs {
-		kept := conns[:0]
-		for _, c := range conns {
-			if c != conn {
-				kept = append(kept, c)
+	s := b.subsByConn[conn]
+	if s == nil {
+		return nil
+	}
+	delete(b.subsByConn, conn)
+	for id, subs := range b.subs {
+		kept := subs[:0]
+		for _, e := range subs {
+			if e != s {
+				kept = append(kept, e)
 			}
+		}
+		for i := len(kept); i < len(subs); i++ {
+			subs[i] = nil
 		}
 		if len(kept) == 0 {
 			delete(b.subs, id)
@@ -718,6 +875,7 @@ func (b *Broker) removeSubscriber(conn *transport.Conn) {
 		}
 		b.subs[id] = kept
 	}
+	return s.eg
 }
 
 // workerScratch is the reusable storage one delivery worker cycles through
@@ -727,7 +885,7 @@ func (b *Broker) removeSubscriber(conn *transport.Conn) {
 type workerScratch struct {
 	payload []byte
 	body    []byte
-	conns   []*transport.Conn
+	subs    []*subscriber
 }
 
 // workerLoop is one Message Delivery thread pinned to one dispatch lane: it
@@ -793,22 +951,46 @@ func (b *Broker) workerLoop(laneIdx int) {
 
 // dispatch pushes the message to every subscriber of the topic, then runs
 // the Table 3 Dispatch steps (flag + prune request). The Dispatch frame is
-// encoded exactly once into the worker's scratch and the identical bytes
-// fan out to every subscriber via SendEncoded, which never retains the
-// buffer — so the whole fan-out costs one encode and zero allocations.
+// encoded exactly once — into a refcounted pooled buffer on the egress path
+// (one reference per subscriber ring, released after each flush), or into
+// the worker's scratch on the legacy synchronous path — so the whole
+// fan-out costs one encode and zero steady-state allocations, and with
+// egress on the EDF lane never touches a socket.
 func (b *Broker) dispatch(w core.Work, wk *workerScratch) {
 	b.subsMu.Lock()
-	wk.conns = append(wk.conns[:0], b.subs[w.Msg.Topic]...)
+	wk.subs = append(wk.subs[:0], b.subs[w.Msg.Topic]...)
 	b.subsMu.Unlock()
 	b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageDispatch, Topic: uint64(w.Msg.Topic), Seq: w.Msg.Seq, At: b.opts.Clock()})
-	wk.body = wire.AppendDispatchBody(wk.body[:0], &w.Msg, b.opts.Clock())
-	for _, c := range wk.conns {
-		if err := c.SendEncoded(wk.body); err != nil {
-			b.obs.DispatchSendErrors.Inc()
-			b.log.Warn("dispatch send failed", "topic", w.Msg.Topic, "err", err)
-			continue
+	switch {
+	case len(wk.subs) == 0:
+		// No subscribers: nothing to encode; fall through to coordination.
+	case b.egressOn():
+		fb := transport.GetFrameBuf()
+		fb.B = wire.AppendDispatchBody(fb.B[:0], &w.Msg, b.opts.Clock())
+		for _, s := range wk.subs {
+			fb.Retain() // the ring owns one reference per subscriber
+			switch s.eg.Enqueue(fb, w.Msg.Topic, w.LossTolerance) {
+			case transport.EnqueueOK, transport.EnqueueShed:
+				b.obs.DispatchSends.Inc()
+			case transport.EnqueueEvicted:
+				b.obs.DispatchSendErrors.Inc()
+				b.log.Warn("subscriber evicted: egress ring full past loss tolerance",
+					"topic", w.Msg.Topic, "addr", s.conn.RemoteAddr())
+			default: // EnqueueClosed
+				b.obs.DispatchSendErrors.Inc()
+			}
 		}
-		b.obs.DispatchSends.Inc()
+		fb.Release() // drop the dispatcher's own reference
+	default:
+		wk.body = wire.AppendDispatchBody(wk.body[:0], &w.Msg, b.opts.Clock())
+		for _, s := range wk.subs {
+			if err := s.conn.SendEncoded(wk.body); err != nil {
+				b.obs.DispatchSendErrors.Inc()
+				b.log.Warn("dispatch send failed", "topic", w.Msg.Topic, "err", err)
+				continue
+			}
+			b.obs.DispatchSends.Inc()
+		}
 	}
 
 	lane := b.lane(w.Msg.Topic)
@@ -838,7 +1020,19 @@ func (b *Broker) replicate(w core.Work, wk *workerScratch) {
 	wk.body = wire.AppendReplicateBody(wk.body[:0], &w.Msg, w.ArrivedPrimary)
 	if err := peer.SendEncoded(wk.body); err != nil {
 		b.obs.ReplicateErrors.Inc()
-		b.log.Warn("replicate send failed", "topic", w.Msg.Topic, "err", err)
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			// The write-stall bound fired: the Backup accepted the connection
+			// but stopped draining it. The partial write corrupted the link's
+			// framing (the error is sticky), so close it — the read side then
+			// clears the peer and replication stops instead of wedging every
+			// Replicator worker behind one socket.
+			b.peerStalls.Add(1)
+			b.log.Warn("replicate write stalled past deadline; closing replication link",
+				"topic", w.Msg.Topic, "timeout", b.peerWriteStall())
+			peer.Close()
+		} else {
+			b.log.Warn("replicate send failed", "topic", w.Msg.Topic, "err", err)
+		}
 		return
 	}
 	b.obs.Replicates.Inc()
@@ -864,6 +1058,9 @@ func (b *Broker) dialPeer() (*transport.Conn, error) {
 	conn.SetMeter(&b.meter)
 	conn.SetZeroCopy(!b.opts.DisableZeroCopy)
 	b.enableBatching(conn)
+	if d := b.peerWriteStall(); d > 0 {
+		conn.SetWriteStall(d)
+	}
 	if err := conn.Send(&wire.Frame{Type: wire.TypeHello, Role: wire.RoleBrokerPeer, Name: b.Addr()}); err != nil {
 		conn.Close()
 		return nil, err

@@ -80,6 +80,22 @@ type Invariants struct {
 	ExpectPromotion bool
 }
 
+// ExtraSub adds one more subscriber to a scenario, with its own node name
+// (so link faults can target it) and its own invariant budget. The main
+// subscriber's Invariants stay the strict ones; extras are typically the
+// deliberately degraded parties.
+type ExtraSub struct {
+	Name string
+	// RequireAll asserts every published sequence was delivered to this
+	// subscriber too (the runner's drain then also waits for it).
+	RequireAll bool
+	// MaxConsecutiveLoss is the Li bound asserted per topic; negative
+	// skips the check (a wedged subscriber may lose arbitrarily much).
+	MaxConsecutiveLoss int
+	// AllowedRewinds bounds per-link rewinds; negative skips the check.
+	AllowedRewinds int
+}
+
 // Scenario is one scripted chaos run.
 type Scenario struct {
 	Name        string
@@ -94,6 +110,19 @@ type Scenario struct {
 	// Detector overrides the failure detector tuning; zero means the
 	// runner's fast default.
 	Detector failover.Config
+	// EgressDepth overrides the brokers' per-subscriber outbound ring
+	// capacity; zero keeps the broker default.
+	EgressDepth int
+	// Mem runs the scenario over the in-process Mem transport instead of
+	// TCP loopback. Mem conns are synchronous pipes, so egress
+	// backpressure from a stalled subscriber reaches the broker's writer
+	// deterministically instead of hiding in kernel socket buffers.
+	Mem bool
+	// ExtraSubs adds more subscribers, each with its own invariants.
+	ExtraSubs []ExtraSub
+	// Check, when set, runs after the drain with the rest of the
+	// invariants; returned strings are reported as failures.
+	Check func(*Env) []string
 }
 
 // Env is the live cluster a scenario's steps act on.
@@ -105,8 +134,11 @@ type Env struct {
 	Sub     *client.Subscriber
 	Clock   func() time.Duration
 	Tr      *Transcript
+	// Extra holds the ExtraSubs subscribers by name, for Check hooks.
+	Extra map[string]*client.Subscriber
 
 	detector failover.Config
+	extras   []extraRun
 
 	mu             sync.Mutex
 	faultAt        time.Duration // first broker-affecting fault
@@ -180,8 +212,8 @@ func HealPartition(name string) func(*Env) error {
 func SetLink(from, to string, f faultinject.Faults) func(*Env) error {
 	return func(e *Env) error {
 		e.Net.SetLink(from, to, f)
-		e.Tr.Logf(e.Clock(), "link %s->%s faults: latency=%v jitter=%v bw=%d drop=%.2f stall=%v",
-			from, to, f.Latency, f.Jitter, f.BandwidthBps, f.Drop, f.Stall)
+		e.Tr.Logf(e.Clock(), "link %s->%s faults: latency=%v jitter=%v bw=%d drop=%.2f stall=%v wbuf=%d",
+			from, to, f.Latency, f.Jitter, f.BandwidthBps, f.Drop, f.Stall, f.WriteBufferBytes)
 		return nil
 	}
 }

@@ -119,6 +119,34 @@ func (e *Env) checkInvariants(sc Scenario, rec *Recorder, traces *traceRecorder)
 	failures = append(failures, rec.fifoViolations(inv.AllowedRewinds)...)
 	failures = append(failures, traces.violations()...)
 
+	// Extra subscribers are judged against their own budgets; negative
+	// bounds skip a check for the deliberately degraded parties.
+	for _, xr := range e.extras {
+		for _, tp := range sc.Topics {
+			last := e.Pub.LastSeq(tp.ID)
+			got := xr.sub.Received(tp.ID)
+			if xr.spec.RequireAll && got != last {
+				failures = append(failures, fmt.Sprintf("extra sub %s, topic %d: published %d, delivered %d distinct",
+					xr.spec.Name, tp.ID, last, got))
+			}
+			if xr.spec.MaxConsecutiveLoss >= 0 && last > 0 {
+				if loss := xr.sub.MaxConsecutiveLoss(tp.ID, last); loss > xr.spec.MaxConsecutiveLoss {
+					failures = append(failures, fmt.Sprintf("extra sub %s, topic %d: max consecutive loss %d exceeds bound %d",
+						xr.spec.Name, tp.ID, loss, xr.spec.MaxConsecutiveLoss))
+				}
+			}
+		}
+		if xr.spec.AllowedRewinds >= 0 {
+			for _, v := range xr.rec.fifoViolations(xr.spec.AllowedRewinds) {
+				failures = append(failures, fmt.Sprintf("extra sub %s: %s", xr.spec.Name, v))
+			}
+		}
+	}
+
+	if sc.Check != nil {
+		failures = append(failures, sc.Check(e)...)
+	}
+
 	bound := e.detector.WorstCaseDetection() + PromotionSlack
 	switch {
 	case inv.ExpectPromotion && !promoted:

@@ -90,7 +90,11 @@ func chaosParams() timing.Params {
 func Run(sc Scenario, opts RunOptions) (*Result, error) {
 	inner := opts.Inner
 	if inner == nil {
-		inner = &transport.TCP{DialTimeout: 2 * time.Second}
+		if sc.Mem {
+			inner = transport.NewMem()
+		} else {
+			inner = &transport.TCP{DialTimeout: 2 * time.Second}
+		}
 	}
 	log := opts.Logger
 	if log == nil {
@@ -127,17 +131,18 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 	}
 
 	backup, err := broker.New(broker.Options{
-		Engine:     cfg,
-		Role:       broker.RoleBackup,
-		ListenAddr: backupListen,
-		PeerAddr:   "pending", // fixed up via SetPeerAddr once the Primary binds
-		Network:    net.Node(NodeBackup),
-		Clock:      clock,
-		Workers:    4,
-		Detector:   detector,
-		Topics:     sc.Topics,
-		Logger:     log,
-		Obs:        backupObs,
+		Engine:      cfg,
+		Role:        broker.RoleBackup,
+		ListenAddr:  backupListen,
+		PeerAddr:    "pending", // fixed up via SetPeerAddr once the Primary binds
+		Network:     net.Node(NodeBackup),
+		Clock:       clock,
+		Workers:     4,
+		Detector:    detector,
+		Topics:      sc.Topics,
+		Logger:      log,
+		Obs:         backupObs,
+		EgressDepth: sc.EgressDepth,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: backup: %w", err)
@@ -154,6 +159,7 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 		Topics:      sc.Topics,
 		Logger:      log,
 		ExtraGauges: net.Gauges,
+		EgressDepth: sc.EgressDepth,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: primary: %w", err)
@@ -223,6 +229,40 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 	}
 	e.Sub, e.Pub = sub, pub
 
+	// Extra subscribers: each gets its own node name (link faults can
+	// single it out), its own frame recorder, and its own invariant budget.
+	e.Extra = make(map[string]*client.Subscriber, len(sc.ExtraSubs))
+	for _, xs := range sc.ExtraSubs {
+		xrec := NewRecorder()
+		xsub, err := client.NewSubscriber(client.SubscriberOptions{
+			Name:        xs.Name,
+			Topics:      topicIDs,
+			BrokerAddrs: []string{primary.Addr(), backup.Addr()},
+			Network:     net.Node(xs.Name),
+			Clock:       clock,
+			OnFrame:     xrec.Note,
+			Logger:      log,
+		})
+		if err != nil {
+			pubSubTeardown(e)
+			stopCluster(e)
+			return nil, fmt.Errorf("chaos: extra subscriber %s: %w", xs.Name, err)
+		}
+		e.extras = append(e.extras, extraRun{spec: xs, sub: xsub, rec: xrec})
+		e.Extra[xs.Name] = xsub
+	}
+
+	// Subscriptions land asynchronously; give the Primary a moment to
+	// register every subscriber before the pump starts, so the first
+	// sequences are not published past a not-yet-subscribed party.
+	wantSubs := 1 + len(sc.ExtraSubs)
+	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+		if primary.Health().EgressSubs >= wantSubs {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
 	// Publish pump: Load.Count messages per topic, round-robin, one every
 	// Interval. Send errors during crashes and resets are expected — the
 	// retained ring plus fail-over resend is what covers them.
@@ -273,14 +313,22 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 	tr.Logf(clock(), "all faults cleared; draining")
 	drainDeadline := time.Now().Add(drainTimeout)
 	lastTotal, quietSince := uint64(0), time.Now()
+	drainSubs := []*client.Subscriber{sub}
+	for _, xr := range e.extras {
+		if xr.spec.RequireAll {
+			drainSubs = append(drainSubs, xr.sub)
+		}
+	}
 	for time.Now().Before(drainDeadline) {
 		total := uint64(0)
 		complete := true
-		for _, id := range topicIDs {
-			got := sub.Received(id)
-			total += got
-			if got < pub.LastSeq(id) {
-				complete = false
+		for _, s := range drainSubs {
+			for _, id := range topicIDs {
+				got := s.Received(id)
+				total += got
+				if got < pub.LastSeq(id) {
+					complete = false
+				}
 			}
 		}
 		if complete {
@@ -325,12 +373,23 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 	return res, nil
 }
 
+// extraRun is one built ExtraSub with its recorder, judged alongside the
+// main subscriber's invariants.
+type extraRun struct {
+	spec ExtraSub
+	sub  *client.Subscriber
+	rec  *Recorder
+}
+
 func pubSubTeardown(e *Env) {
 	if e.Pub != nil {
 		e.Pub.Close()
 	}
 	if e.Sub != nil {
 		e.Sub.Close()
+	}
+	for _, xr := range e.extras {
+		xr.sub.Close()
 	}
 }
 

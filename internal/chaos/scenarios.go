@@ -19,6 +19,7 @@ func All() []Scenario {
 		bandwidthSubscriber(),
 		resetStorm(),
 		dropReplication(),
+		slowSubscriberEgress(),
 	}
 }
 
@@ -183,6 +184,60 @@ func resetStorm() Scenario {
 			MaxConsecutiveLoss: 0,
 			AllowedRewinds:     1, // the resend run restarts the backup link's sequence once
 			ExpectPromotion:    false,
+		},
+	}
+}
+
+// slowSubscriberEgress exercises the asynchronous egress under degraded
+// subscribers: one subscriber's delivery link is stalled behind a tiny
+// write buffer (its egress ring must absorb, shed within Li, and finally
+// evict it), another is squeezed through a bandwidth trickle (paced but
+// lossless). The healthy main subscriber must sail through with zero loss
+// and strict per-link FIFO — the isolation the per-subscriber rings exist
+// to provide. Runs over Mem so backpressure reaches the broker's writer
+// synchronously instead of pooling in kernel socket buffers.
+func slowSubscriberEgress() Scenario {
+	stalledTopic := func(id spec.TopicID) spec.Topic {
+		tp := chaosTopic(id, 256)
+		tp.LossTolerance = 8 // shed budget before the wedged sub is evicted
+		return tp
+	}
+	return Scenario{
+		Name:        "slow-subscriber-egress",
+		Description: "stalled + trickle subscribers behind small egress rings; healthy subscriber keeps zero-loss FIFO",
+		Smoke:       true,
+		Mem:         true,
+		EgressDepth: 64,
+		Topics:      []spec.Topic{stalledTopic(1), stalledTopic(2)},
+		Load:        Load{Count: 300, Interval: time.Millisecond, PayloadSize: 64},
+		ExtraSubs: []ExtraSub{
+			// The wedged one: may lose anything, and dies by eviction.
+			{Name: "slow-sub", MaxConsecutiveLoss: -1, AllowedRewinds: -1},
+			// The trickle one: paced, never overflows its ring, loses nothing.
+			{Name: "trickle-sub", RequireAll: true, MaxConsecutiveLoss: 0, AllowedRewinds: 0},
+		},
+		Script: []Step{
+			{At: 0, Desc: "stall primary->slow-sub behind a 4KiB buffer",
+				Do: SetLink(NodePrimary, "slow-sub", faultinject.Faults{Stall: true, WriteBufferBytes: 4 << 10})},
+			{At: 0, Desc: "trickle primary->trickle-sub at 32KiB/s",
+				Do: SetLink(NodePrimary, "trickle-sub", faultinject.Faults{BandwidthBps: 32 << 10})},
+		},
+		Invariants: Invariants{
+			RequireAll:         true,
+			MaxConsecutiveLoss: 0,
+			AllowedRewinds:     0,
+			ExpectPromotion:    false,
+		},
+		Check: func(e *Env) []string {
+			es := e.Primary.EgressStats()
+			var v []string
+			if es.Shed == 0 {
+				v = append(v, "egress never shed despite a stalled subscriber behind a full ring")
+			}
+			if es.Evictions == 0 {
+				v = append(v, "stalled subscriber exhausted Li without being evicted")
+			}
+			return v
 		},
 	}
 }

@@ -517,6 +517,10 @@ type Work struct {
 	Msg  wire.Message
 	// ArrivedPrimary is tp for replicate frames and for recovery dispatches.
 	ArrivedPrimary time.Duration
+	// LossTolerance is the topic's Li, carried with each dispatch so the
+	// broker's egress shed policy can bound consecutive drops per topic
+	// without a topic-table lookup on the hot path.
+	LossTolerance int
 }
 
 // NextWork pops the next job and resolves it against the buffers and the
@@ -623,7 +627,8 @@ func (e *Engine) resolve(j queue.Job) Work {
 		if ent.dispatched {
 			return Work{Kind: WorkNone}
 		}
-		return Work{Kind: WorkDispatch, Job: j, Msg: ent.msg, ArrivedPrimary: ent.arrivedPrimary}
+		return Work{Kind: WorkDispatch, Job: j, Msg: ent.msg, ArrivedPrimary: ent.arrivedPrimary,
+			LossTolerance: st.spec.LossTolerance}
 	case queue.KindReplicate:
 		if e.cfg.Coordination && ent.dispatched {
 			e.stats.abortedReplicas.Add(1)

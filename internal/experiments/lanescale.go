@@ -125,8 +125,11 @@ func runLanePoint(lanes int, opts LaneScaleOptions) (LaneScalePoint, error) {
 	}
 	engineCfg := core.FRAMEConfig(params)
 	// The sweep publishes in bursts rather than Ti-paced, so the Message
-	// Buffer must hold a whole topic's burst.
+	// Buffer must hold a whole topic's burst — and the subscriber's egress
+	// ring the whole run's, or the shed policy would read the transient
+	// backlog as a dead subscriber and evict it mid-measurement.
 	engineCfg.MessageBufferCap = opts.PerTopic
+	egressDepth := opts.Topics * opts.PerTopic
 
 	start := time.Now()
 	clock := func() time.Duration { return time.Since(start) }
@@ -139,6 +142,7 @@ func runLanePoint(lanes int, opts LaneScaleOptions) (LaneScalePoint, error) {
 		Clock:       clock,
 		Lanes:       lanes,
 		BatchWindow: opts.Batch,
+		EgressDepth: egressDepth,
 		Topics:      topics,
 		Logger:      quietLogger(),
 	})

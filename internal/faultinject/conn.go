@@ -395,7 +395,7 @@ func (c *faultConn) writeDeadline() time.Time {
 func (d *direction) enqueue(data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for d.queued >= maxQueuedBytes {
+	for d.queued >= d.capBytes() {
 		if d.c.down() || d.srcDone {
 			return net.ErrClosed
 		}
@@ -423,6 +423,15 @@ func (d *direction) enqueue(data []byte) error {
 	d.queued += len(data)
 	d.cond.Broadcast()
 	return nil
+}
+
+// capBytes resolves the direction's current queued-byte bound, re-read every
+// wait iteration so SetLink can shrink (or restore) a live link's buffer.
+func (d *direction) capBytes() int {
+	if wb := d.c.n.faultsFor(d.from, d.to).WriteBufferBytes; wb > 0 && wb < maxQueuedBytes {
+		return wb
+	}
+	return maxQueuedBytes
 }
 
 // finishSrc marks the producer done; the pump drains what is queued, then

@@ -58,6 +58,11 @@ type Faults struct {
 	// succeed, but no frame is delivered until the stall clears. Held
 	// frames are delivered (in order) once it does.
 	Stall bool
+	// WriteBufferBytes shrinks the direction's queued-byte bound below the
+	// default 1 MiB (values above it are clamped), modelling a small socket
+	// send buffer: a stalled or slow link back-pressures the writer after
+	// this many undelivered bytes. Zero keeps the default.
+	WriteBufferBytes int
 }
 
 // IsZero reports a transparent fault program.

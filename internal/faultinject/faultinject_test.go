@@ -424,3 +424,39 @@ func TestSeedFromEnv(t *testing.T) {
 		t.Fatalf("garbage env: got %d, want fallback", got)
 	}
 }
+
+func TestWriteBufferBytesBackpressures(t *testing.T) {
+	n, cli, srv := pair(t, 11)
+	n.SetLink("cli", "srv", Faults{Stall: true, WriteBufferBytes: 256})
+
+	// Each frame is 104 bytes on the wire; the pump holds the first one
+	// mid-delivery (stalled link), so the shrunken 256-byte queue admits a
+	// few more and then blocks the writer. The write deadline turns the
+	// block into the same error a full kernel socket buffer would produce.
+	payload := make([]byte, 100)
+	cli.SetWriteDeadline(time.Now().Add(80 * time.Millisecond))
+	writes := 0
+	var werr error
+	for i := 0; i < 32; i++ {
+		if _, werr = cli.Write(frame(payload)); werr != nil {
+			break
+		}
+		writes++
+	}
+	if !errors.Is(werr, os.ErrDeadlineExceeded) {
+		t.Fatalf("write past the shrunken buffer = %v, want os.ErrDeadlineExceeded", werr)
+	}
+	if writes == 0 || writes > 8 {
+		t.Fatalf("%d writes fit a 256-byte buffer, want a small handful", writes)
+	}
+	cli.SetWriteDeadline(time.Time{})
+
+	// Clearing the program restores the stall and the default bound; every
+	// frame admitted before the backpressure kicked in arrives intact.
+	n.ClearLink("cli", "srv")
+	for i := 0; i < writes; i++ {
+		if _, err := readFrame(srv); err != nil {
+			t.Fatalf("post-heal read %d: %v", i, err)
+		}
+	}
+}

@@ -31,6 +31,18 @@ type Health struct {
 	LateDispatches uint64 `json:"late_dispatches"`
 	// UptimeSeconds is wall time since the broker was created.
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// EgressQueued is the number of frames currently queued across all
+	// subscriber egress rings.
+	EgressQueued int `json:"egress_queued"`
+	// EgressSubs is the number of live subscriber sessions.
+	EgressSubs int `json:"egress_subscribers"`
+	// EgressShed counts frames dropped by the Li-aware shed policy.
+	EgressShed uint64 `json:"egress_shed"`
+	// EgressEvictions counts subscribers evicted for exceeding a topic's
+	// loss tolerance in consecutive drops.
+	EgressEvictions uint64 `json:"egress_evictions"`
+	// EgressWriteErrs counts failed egress flush writes.
+	EgressWriteErrs uint64 `json:"egress_write_errors"`
 }
 
 // Admin is the embedded observability endpoint: /metrics (Prometheus text),

@@ -107,6 +107,8 @@ func (c *Conn) flushLocked() error {
 	buf := c.pending
 	c.pending = c.pending[:0]
 	c.pendingFrames = 0
+	c.armWriteStallLocked()
+	defer c.disarmWriteStallLocked()
 	if _, err := c.nc.Write(buf); err != nil {
 		c.werr = fmt.Errorf("transport: batch flush: %w", err)
 		return c.werr

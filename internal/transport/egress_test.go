@@ -1,0 +1,303 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/wire"
+)
+
+// pruneBuf builds a pooled FrameBuf holding one encoded Prune frame — small,
+// valid on the wire, and carrying a (topic, seq) pair the receive side can
+// check ordering with.
+func pruneBuf(topic spec.TopicID, seq uint64) *FrameBuf {
+	fb := GetFrameBuf()
+	fb.B = wire.AppendPruneBody(fb.B[:0], topic, seq)
+	return fb
+}
+
+func TestFrameBufRefcountLifecycle(t *testing.T) {
+	base := FrameBufRefs()
+	fb := GetFrameBuf()
+	if got := FrameBufRefs(); got != base+1 {
+		t.Fatalf("refs after Get = %d, want %d", got, base+1)
+	}
+	fb.Retain()
+	fb.Retain()
+	if got := FrameBufRefs(); got != base+3 {
+		t.Fatalf("refs after two Retains = %d, want %d", got, base+3)
+	}
+	fb.Release()
+	fb.Release()
+	fb.Release()
+	if got := FrameBufRefs(); got != base {
+		t.Fatalf("refs after final Release = %d, want %d", got, base)
+	}
+}
+
+func TestFrameBufReleasePanicsWithoutReference(t *testing.T) {
+	fb := GetFrameBuf()
+	fb.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release on a released buffer did not panic")
+		}
+		frameBufRefs.Add(1) // undo the pre-panic decrement so the leak gauge stays balanced
+	}()
+	fb.Release()
+}
+
+func TestFrameBufDropsOversizedStorage(t *testing.T) {
+	fb := GetFrameBuf()
+	fb.B = make([]byte, pooledPayloadCap+1)
+	fb.Release()
+	if fb.B != nil {
+		t.Fatalf("oversized storage retained through the pool: cap %d", cap(fb.B))
+	}
+}
+
+// TestEgressDeliversInOrder pushes a burst through an egress and checks the
+// receive side sees every frame, in order, regardless of how the writer
+// sliced the burst into vectored writes.
+func TestEgressDeliversInOrder(t *testing.T) {
+	base := FrameBufRefs()
+	sender, receiver := pipePair(t)
+	var meter EgressMeter
+	// Ring deeper than the burst: nothing sheds, so arrival order is the
+	// full enqueue order.
+	eg := NewEgress(sender, EgressConfig{Depth: 256, Shed: true, Meter: &meter})
+
+	const n = 100
+	got := make(chan uint64, n)
+	go func() {
+		f := GetFrame()
+		defer PutFrame(f)
+		for {
+			if err := receiver.RecvInto(f); err != nil {
+				close(got)
+				return
+			}
+			got <- f.Seq
+		}
+	}()
+	for seq := uint64(1); seq <= n; seq++ {
+		if r := eg.Enqueue(pruneBuf(7, seq), 7, 0); r != EnqueueOK {
+			t.Fatalf("Enqueue(%d) = %v, want EnqueueOK", seq, r)
+		}
+	}
+	for want := uint64(1); want <= n; want++ {
+		select {
+		case seq := <-got:
+			if seq != want {
+				t.Fatalf("frame %d arrived out of order (seq %d)", want, seq)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for frame %d", want)
+		}
+	}
+	eg.Close()
+	sender.Close()
+	eg.Wait()
+	if refs := FrameBufRefs(); refs != base {
+		t.Fatalf("leaked %d FrameBuf references", refs-base)
+	}
+	if f := meter.Flushed.Load(); f != n {
+		t.Fatalf("Flushed = %d, want %d", f, n)
+	}
+	if b := meter.Batches.Load(); b == 0 || b > n {
+		t.Fatalf("Batches = %d, want within [1, %d]", b, n)
+	}
+}
+
+// TestEgressShedsWithinLiThenEvicts wedges the writer and overfills the
+// ring: the shed policy must drop exactly Li oldest frames for the topic,
+// then evict the subscriber on the next overflow, releasing every buffer.
+func TestEgressShedsWithinLiThenEvicts(t *testing.T) {
+	base := FrameBufRefs()
+	a, b := net.Pipe()
+	defer b.Close()
+	gate := make(chan struct{})
+	sender := NewConn(&blockableConn{Conn: a, gate: gate})
+	var meter EgressMeter
+	const li = 3
+	eg := NewEgress(sender, EgressConfig{Depth: 4, Shed: true, Meter: &meter})
+
+	var sheds, oks int
+	evicted := false
+	for seq := uint64(1); seq <= 64; seq++ {
+		switch r := eg.Enqueue(pruneBuf(9, seq), 9, li); r {
+		case EnqueueOK:
+			oks++
+		case EnqueueShed:
+			sheds++
+		case EnqueueEvicted:
+			evicted = true
+		default:
+			t.Fatalf("Enqueue(%d) = %v", seq, r)
+		}
+		if evicted {
+			break
+		}
+	}
+	if !evicted {
+		t.Fatalf("never evicted: %d ok, %d shed", oks, sheds)
+	}
+	if sheds != li {
+		t.Fatalf("shed %d frames before eviction, want exactly Li = %d", sheds, li)
+	}
+	if !eg.Evicted() {
+		t.Fatal("Evicted() = false after EnqueueEvicted")
+	}
+	if r := eg.Enqueue(pruneBuf(9, 999), 9, li); r != EnqueueClosed {
+		t.Fatalf("Enqueue after eviction = %v, want EnqueueClosed", r)
+	}
+	if got := meter.Shed.Load(); got != uint64(li) {
+		t.Fatalf("meter.Shed = %d, want %d", got, li)
+	}
+	if got := meter.Evictions.Load(); got != 1 {
+		t.Fatalf("meter.Evictions = %d, want 1", got)
+	}
+	close(gate) // release the wedged writer; its write fails on the closed pipe
+	eg.Wait()
+	if refs := FrameBufRefs(); refs != base {
+		t.Fatalf("leaked %d FrameBuf references after eviction", refs-base)
+	}
+}
+
+// TestEgressBestEffortTopicNeverEvicts: a topic with unbounded loss
+// tolerance sheds forever and never costs the subscriber its connection.
+func TestEgressBestEffortTopicNeverEvicts(t *testing.T) {
+	base := FrameBufRefs()
+	a, b := net.Pipe()
+	defer b.Close()
+	gate := make(chan struct{})
+	sender := NewConn(&blockableConn{Conn: a, gate: gate})
+	var meter EgressMeter
+	eg := NewEgress(sender, EgressConfig{Depth: 2, Shed: true, Meter: &meter})
+
+	for seq := uint64(1); seq <= 256; seq++ {
+		switch r := eg.Enqueue(pruneBuf(3, seq), 3, spec.LossUnbounded); r {
+		case EnqueueOK, EnqueueShed:
+		default:
+			t.Fatalf("Enqueue(%d) = %v on a best-effort topic", seq, r)
+		}
+	}
+	if meter.Evictions.Load() != 0 {
+		t.Fatalf("best-effort topic evicted the subscriber")
+	}
+	if meter.Shed.Load() == 0 {
+		t.Fatal("expected sheds on an overfilled best-effort ring")
+	}
+	eg.Close()
+	close(gate)
+	sender.Close()
+	eg.Wait()
+	if refs := FrameBufRefs(); refs != base {
+		t.Fatalf("leaked %d FrameBuf references", refs-base)
+	}
+}
+
+// TestEgressBlockingModeBackpressures: with Shed off a full ring blocks the
+// enqueuer until the writer drains, and nothing is ever dropped.
+func TestEgressBlockingModeBackpressures(t *testing.T) {
+	base := FrameBufRefs()
+	sender, receiver := pipePair(t)
+	var meter EgressMeter
+	eg := NewEgress(sender, EgressConfig{Depth: 2, Shed: false, Meter: &meter})
+
+	const n = 50
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for seq := uint64(1); seq <= n; seq++ {
+			if r := eg.Enqueue(pruneBuf(1, seq), 1, 0); r != EnqueueOK {
+				t.Errorf("Enqueue(%d) = %v", seq, r)
+				return
+			}
+		}
+	}()
+	f := GetFrame()
+	defer PutFrame(f)
+	for want := uint64(1); want <= n; want++ {
+		if err := receiver.RecvInto(f); err != nil {
+			t.Fatalf("RecvInto: %v", err)
+		}
+		if f.Seq != want {
+			t.Fatalf("seq %d, want %d (blocking mode must not drop or reorder)", f.Seq, want)
+		}
+	}
+	<-done
+	eg.Close()
+	sender.Close()
+	eg.Wait()
+	if meter.Shed.Load() != 0 || meter.Evictions.Load() != 0 {
+		t.Fatal("blocking mode shed or evicted")
+	}
+	if refs := FrameBufRefs(); refs != base {
+		t.Fatalf("leaked %d FrameBuf references", refs-base)
+	}
+}
+
+// TestEgressWriteStallDropsSubscriber: a subscriber socket that stops making
+// progress for longer than the configured stall bound fails the flush and
+// the egress shuts down instead of wedging its writer forever.
+func TestEgressWriteStallDropsSubscriber(t *testing.T) {
+	base := FrameBufRefs()
+	a, b := net.Pipe() // nobody reads b: writes block until the deadline
+	defer b.Close()
+	sender := NewConn(a)
+	var meter EgressMeter
+	eg := NewEgress(sender, EgressConfig{Depth: 8, Shed: true, Stall: 20 * time.Millisecond, Meter: &meter})
+
+	eg.Enqueue(pruneBuf(2, 1), 2, 0)
+	waitDone := make(chan struct{})
+	go func() { eg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("egress writer did not exit after a stalled write")
+	}
+	if meter.Stalls.Load() != 1 {
+		t.Fatalf("meter.Stalls = %d, want 1", meter.Stalls.Load())
+	}
+	if meter.WriteErrs.Load() != 1 {
+		t.Fatalf("meter.WriteErrs = %d, want 1", meter.WriteErrs.Load())
+	}
+	if r := eg.Enqueue(pruneBuf(2, 2), 2, 0); r != EnqueueClosed {
+		t.Fatalf("Enqueue after stall = %v, want EnqueueClosed", r)
+	}
+	if refs := FrameBufRefs(); refs != base {
+		t.Fatalf("leaked %d FrameBuf references", refs-base)
+	}
+}
+
+// TestEgressCloseReleasesQueuedFrames: frames still queued at Close are
+// released, the writer exits, and the ring reports its high-water mark.
+func TestEgressCloseReleasesQueuedFrames(t *testing.T) {
+	base := FrameBufRefs()
+	a, b := net.Pipe()
+	defer b.Close()
+	gate := make(chan struct{})
+	defer close(gate)
+	sender := NewConn(&blockableConn{Conn: a, gate: gate})
+	eg := NewEgress(sender, EgressConfig{Depth: 8, Shed: true})
+
+	for seq := uint64(1); seq <= 6; seq++ {
+		eg.Enqueue(pruneBuf(4, seq), 4, 0)
+	}
+	if hw := eg.HighWater(); hw == 0 {
+		t.Fatal("HighWater = 0 after enqueues")
+	}
+	eg.Close()
+	eg.Close() // idempotent
+	if d := eg.Depth(); d != 0 {
+		t.Fatalf("Depth after Close = %d, want 0", d)
+	}
+	sender.Close()
+	eg.Wait()
+	if refs := FrameBufRefs(); refs != base {
+		t.Fatalf("leaked %d FrameBuf references", refs-base)
+	}
+}

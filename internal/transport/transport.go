@@ -70,7 +70,11 @@ type Conn struct {
 	pending       []byte // encoded frames (header+body) awaiting one Write
 	pendingFrames int
 	timer         *time.Timer
-	werr          error // sticky batch-flush failure
+	werr          error // sticky write failure
+
+	// writeStall bounds each write syscall (see SetWriteStall); guarded by
+	// writeMu.
+	writeStall time.Duration
 
 	// read state: single reader assumed.
 	lenBuf   [4]byte
@@ -126,6 +130,33 @@ func (c *Conn) SendEncoded(body []byte) error {
 	return c.sendBodyLocked(wire.Type(body[0]), body)
 }
 
+// SetWriteStall bounds every write syscall on this connection: a write that
+// makes no progress for d is failed with os.ErrDeadlineExceeded instead of
+// blocking forever on a wedged peer. The failure is sticky — a partial write
+// corrupts the length-prefixed framing, so the connection is unusable after —
+// and callers (the broker's replicators, the egress writers) treat it as a
+// dead link. Zero disables the bound. Safe to call concurrently with writers.
+func (c *Conn) SetWriteStall(d time.Duration) {
+	c.writeMu.Lock()
+	c.writeStall = d
+	c.writeMu.Unlock()
+}
+
+// armWriteStallLocked sets the per-write deadline when a stall bound is
+// configured; disarmWriteStallLocked clears it so reads sharing the socket's
+// deadline machinery are unaffected between writes.
+func (c *Conn) armWriteStallLocked() {
+	if c.writeStall > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(c.writeStall))
+	}
+}
+
+func (c *Conn) disarmWriteStallLocked() {
+	if c.writeStall > 0 {
+		c.nc.SetWriteDeadline(time.Time{})
+	}
+}
+
 // sendableLocked reports whether the connection can accept another frame,
 // surfacing the sticky error and turning post-Close sends into errors
 // instead of silent enqueues.
@@ -156,18 +187,66 @@ func (c *Conn) sendBodyLocked(t wire.Type, body []byte) error {
 	return c.writeFrameLocked(body)
 }
 
-// writeFrameLocked writes one length-prefixed frame immediately.
+// stickyWriteLocked records a write failure so every later send fails fast:
+// a failed or partial write leaves the stream's framing in an unknown state,
+// so the connection must not carry further frames. A failure on an
+// already-closed connection additionally matches net.ErrClosed — the write
+// lost a race with Close, and callers checking for orderly-shutdown errors
+// should see it as one.
+func (c *Conn) stickyWriteLocked(op string, err error) error {
+	if c.closed.Load() {
+		c.werr = fmt.Errorf("transport: %s: %v: %w", op, err, net.ErrClosed)
+	} else {
+		c.werr = fmt.Errorf("transport: %s: %w", op, err)
+	}
+	return c.werr
+}
+
+// writeFrameLocked writes one length-prefixed frame immediately. Errors are
+// sticky (see stickyWriteLocked).
 func (c *Conn) writeFrameLocked(body []byte) error {
 	binary.LittleEndian.PutUint32(c.hdrBuf[:], uint32(len(body)))
+	c.armWriteStallLocked()
+	defer c.disarmWriteStallLocked()
 	if _, err := c.nc.Write(c.hdrBuf[:]); err != nil {
-		return fmt.Errorf("transport: write header: %w", err)
+		return c.stickyWriteLocked("write header", err)
 	}
 	if _, err := c.nc.Write(body); err != nil {
-		return fmt.Errorf("transport: write body: %w", err)
+		return c.stickyWriteLocked("write body", err)
 	}
 	if c.meter != nil {
 		c.meter.FramesSent.Add(1)
 		c.meter.BytesSent.Add(uint64(4 + len(body)))
+	}
+	return nil
+}
+
+// WriteBuffers writes a pre-assembled sequence of length-prefixed frames in
+// one vectored write (writev on TCP), draining any pending batch first so
+// per-connection frame order holds. bufs alternates header and body slices;
+// frames and nbytes are the frame count and total byte length it carries, for
+// metering. The slice header is copied before the write because
+// net.Buffers.WriteTo consumes it in place; the caller keeps ownership of
+// bufs and its backing arrays. Errors are sticky, exactly like a direct
+// frame write: a partial vectored write corrupts the framing.
+func (c *Conn) WriteBuffers(bufs net.Buffers, frames, nbytes int) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := c.sendableLocked(); err != nil {
+		return err
+	}
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
+	c.armWriteStallLocked()
+	defer c.disarmWriteStallLocked()
+	vecs := bufs // WriteTo reslices its receiver; keep the caller's header intact
+	if _, err := vecs.WriteTo(c.nc); err != nil {
+		return c.stickyWriteLocked("vectored write", err)
+	}
+	if c.meter != nil {
+		c.meter.FramesSent.Add(uint64(frames))
+		c.meter.BytesSent.Add(uint64(nbytes))
 	}
 	return nil
 }
