@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race short cover cover-check bench bench-compare bench-json repro fuzz chaos chaos-smoke fmt fmtcheck vet ci clean
+.PHONY: all build test race short cover cover-check bench bench-compare bench-json bench-regress repro fuzz chaos chaos-shard chaos-smoke shard-smoke shardscale fmt fmtcheck vet ci clean
 
 all: build vet fmtcheck test
 
 # Mirror of .github/workflows/ci.yml for local runs.
-ci: build vet fmtcheck test race chaos-smoke fuzz
+ci: build vet fmtcheck test race chaos-smoke shard-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -24,11 +24,10 @@ race:
 cover:
 	$(GO) test -short -cover ./...
 
-# Coverage ratchet over the packages the dispatch-lane and chaos work
-# harden. The floor only moves up: raise COVER_MIN when coverage durably
-# improves.
-COVER_PKGS = ./internal/queue/ ./internal/broker/ ./internal/transport/ \
-	./internal/failover/ ./internal/netsim/ ./internal/faultinject/ ./internal/chaos/
+# Coverage ratchet over every internal package, derived from `go list` so
+# a new package can't dodge the floor by not being on a hand-written list.
+# The floor only moves up: raise COVER_MIN when coverage durably improves.
+COVER_PKGS = $(shell $(GO) list ./internal/...)
 COVER_MIN ?= 84.0
 cover-check:
 	$(GO) test -coverprofile=coverage.out $(COVER_PKGS)
@@ -72,6 +71,15 @@ bench-json:
 		END { print "\n]" }' egress.bench > BENCH_EGRESS.json
 	@echo "wrote BENCH_EGRESS.json"
 
+# Fail if a fresh bench-json run regresses >BENCH_REGRESS_MAX% in ns/op
+# against the committed BENCH_EGRESS.json (or allocates where the
+# baseline did not). The CI bench-baseline job runs this on every PR.
+BENCH_REGRESS_MAX ?= 10
+bench-regress:
+	cp BENCH_EGRESS.json bench_baseline.json
+	$(MAKE) bench-json
+	$(GO) run ./cmd/frame-benchdiff -base bench_baseline.json -new BENCH_EGRESS.json -max-regress $(BENCH_REGRESS_MAX)
+
 # Same via the CLI harness, with CSV artifacts.
 repro:
 	$(GO) run ./cmd/frame-bench -exp all -csv artifacts
@@ -86,6 +94,24 @@ fuzz:
 # Replay a failure with FRAME_CHAOS_SEED=<seed from the failure log>.
 chaos:
 	$(GO) test -race -count=1 -v -run 'TestChaosScenarios|TestScenarioNames' ./internal/chaos/
+
+# Shard-level scenarios: full multi-pair cluster + routing Directory
+# (kill-one-pair, routing-plane partition). chaos-shard is the nightly
+# -race form; shard-smoke is the PR gate, which also runs the cluster
+# package tests and the 1→4 shard throughput-scaling sweep.
+chaos-shard:
+	$(GO) test -race -count=1 -v -run 'TestShardChaosScenarios|TestShardScenarioRegistry' ./internal/chaos/
+
+shard-smoke:
+	$(GO) test -short -count=1 -run 'TestShard' ./internal/chaos/
+	$(GO) test -count=1 ./internal/cluster/
+	$(MAKE) shardscale
+
+# Aggregate throughput vs. shard count. The ≥2.5x 1→4 gate arms itself
+# only on machines with at least 4 CPUs (frame-bench skips the assertion,
+# but still reports, below that).
+shardscale:
+	$(GO) run ./cmd/frame-bench -exp shardscale -shards 1,2,4 -min-speedup 2.5
 
 chaos-smoke:
 	$(GO) test -short -count=1 ./internal/chaos/ ./internal/faultinject/

@@ -47,8 +47,10 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, or all")
+		exp     = flag.String("exp", "all", "experiment: table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, shardscale, or all")
 		lanes   = flag.String("lanes", "", "lanescale: comma-separated lane counts to sweep (default 1,2,4,8)")
+		shards  = flag.String("shards", "", "shardscale: comma-separated shard counts to sweep (default 1,2,4)")
+		minSpd  = flag.Float64("min-speedup", 0, "shardscale: fail unless last/first throughput reaches this factor (skipped when CPUs < largest shard count)")
 		batch   = flag.Duration("batch", 0, "lanescale: write-batch window for the swept brokers (0 = off)")
 		subs    = flag.Int("subs", 0, "egress: healthy subscriber count (default 4)")
 		depth   = flag.Int("egress-depth", 0, "egress: per-subscriber outbound ring depth (default 256)")
@@ -99,6 +101,13 @@ func run() error {
 		{"egress", func() (formatter, error) {
 			return experiments.RunEgress(cfg, experiments.EgressOptions{Subs: *subs, Depth: *depth})
 		}},
+		{"shardscale", func() (formatter, error) {
+			sweep, err := parseCounts("shards", *shards)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RunShardScale(cfg, experiments.ShardScaleOptions{Shards: sweep, MinSpeedup: *minSpd})
+		}},
 	}
 
 	matched := *exp == "none" // -exp none: scrape-only invocation
@@ -120,7 +129,7 @@ func run() error {
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown -exp %q (want table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, all, or none)", *exp)
+		return fmt.Errorf("unknown -exp %q (want table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, shardscale, all, or none)", *exp)
 	}
 	if *scrape != "" {
 		if err := scrapeMetrics(*scrape, *csvDir); err != nil {
@@ -131,7 +140,11 @@ func run() error {
 }
 
 // parseLanes turns "-lanes 1,4,8" into a sweep; empty keeps the default.
-func parseLanes(s string) ([]int, error) {
+func parseLanes(s string) ([]int, error) { return parseCounts("lanes", s) }
+
+// parseCounts turns a comma-separated positive-integer list into a sweep;
+// empty keeps the experiment's default.
+func parseCounts(name, s string) ([]int, error) {
 	if s == "" {
 		return nil, nil
 	}
@@ -139,7 +152,7 @@ func parseLanes(s string) ([]int, error) {
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad -lanes entry %q (want positive integers)", part)
+			return nil, fmt.Errorf("bad -%s entry %q (want positive integers)", name, part)
 		}
 		out = append(out, n)
 	}

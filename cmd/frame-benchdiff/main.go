@@ -1,0 +1,59 @@
+// Command frame-benchdiff compares a fresh `make bench-json` run against
+// the committed BENCH_EGRESS.json baseline and exits 1 on regression:
+// any benchmark more than -max-regress percent slower in ns/op, any new
+// allocations on a zero-alloc baseline, or any benchmark missing from
+// either side. The CI bench-baseline job is its only intended caller:
+//
+//	frame-benchdiff -base bench_baseline.json -new BENCH_EGRESS.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "frame-benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		basePath   = flag.String("base", "bench_baseline.json", "committed baseline file")
+		newPath    = flag.String("new", "BENCH_EGRESS.json", "freshly generated file")
+		maxRegress = flag.Float64("max-regress", 10, "allowed ns/op growth in percent")
+	)
+	flag.Parse()
+
+	load := func(path string) ([]experiments.BenchRow, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return experiments.LoadBenchRows(f)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		return err
+	}
+	violations := experiments.CompareBaseline(base, fresh, *maxRegress)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "regression:", v)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(violations), *maxRegress)
+	}
+	fmt.Printf("bench baseline holds: %d benchmarks within %.0f%% of %s\n",
+		len(base), *maxRegress, *basePath)
+	return nil
+}

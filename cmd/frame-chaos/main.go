@@ -2,7 +2,10 @@
 // internal/chaos against a real Primary+Backup cluster over the
 // fault-injected TCP transport, and judges the FRAME invariants: bounded
 // consecutive loss, per-topic FIFO, the Table 3 prune/recovery discipline,
-// and promotion within the polling bound.
+// and promotion within the polling bound. Shard-level scenarios bring up
+// a full multi-pair cluster with its routing Directory and additionally
+// judge the promotion blast radius and the routing plane's outage
+// behavior.
 //
 // Every fault decision is driven by the seed, so a failed run replays
 // exactly:
@@ -14,7 +17,8 @@
 //	frame-chaos -list                         # show shipped scenarios
 //	frame-chaos                               # run everything
 //	frame-chaos -smoke                        # PR-gate subset only
-//	frame-chaos -scenario crash-promote       # one scenario
+//	frame-chaos -shard                        # shard-level scenarios only
+//	frame-chaos -scenario shard-kill-pair     # one scenario (either kind)
 //	frame-chaos -artifacts out/               # transcripts for failures
 //
 // The seed defaults to FRAME_CHAOS_SEED when set, else a per-scenario
@@ -38,53 +42,92 @@ func main() {
 	}
 }
 
+// entry is one runnable scenario of either kind.
+type entry struct {
+	name, desc string
+	smoke      bool
+	shard      bool
+	run        func(chaos.RunOptions) (*chaos.Result, error)
+}
+
+func registry() []entry {
+	var out []entry
+	for _, sc := range chaos.All() {
+		sc := sc
+		out = append(out, entry{
+			name: sc.Name, desc: sc.Description, smoke: sc.Smoke,
+			run: func(o chaos.RunOptions) (*chaos.Result, error) { return chaos.Run(sc, o) },
+		})
+	}
+	for _, sc := range chaos.ShardAll() {
+		sc := sc
+		out = append(out, entry{
+			name: sc.Name, desc: sc.Description, smoke: sc.Smoke, shard: true,
+			run: func(o chaos.RunOptions) (*chaos.Result, error) { return chaos.RunShard(sc, o) },
+		})
+	}
+	return out
+}
+
 func run() error {
 	var (
 		scenario  = flag.String("scenario", "", "run only the named scenario (default: all)")
 		seedFlag  = flag.Int64("seed", 0, "fault lottery seed (0: FRAME_CHAOS_SEED or per-scenario default)")
 		list      = flag.Bool("list", false, "list shipped scenarios and exit")
 		smoke     = flag.Bool("smoke", false, "run only the Smoke subset (the PR gate)")
+		shardOnly = flag.Bool("shard", false, "run only the shard-level scenarios")
 		artifacts = flag.String("artifacts", "", "directory for failure transcripts")
 	)
 	flag.Parse()
 
+	all := registry()
 	if *list {
-		for _, sc := range chaos.All() {
+		for _, e := range all {
 			gate := " "
-			if sc.Smoke {
+			if e.smoke {
 				gate = "*"
 			}
-			fmt.Printf("%s %-24s %s\n", gate, sc.Name, sc.Description)
+			kind := "pair "
+			if e.shard {
+				kind = "shard"
+			}
+			fmt.Printf("%s %s %-24s %s\n", gate, kind, e.name, e.desc)
 		}
 		fmt.Println("\n* = PR-gate smoke subset")
 		return nil
 	}
 
-	var scenarios []chaos.Scenario
+	var selected []entry
 	if *scenario != "" {
-		sc, err := chaos.Find(*scenario)
-		if err != nil {
-			return err
+		for _, e := range all {
+			if e.name == *scenario {
+				selected = append(selected, e)
+			}
 		}
-		scenarios = []chaos.Scenario{sc}
+		if len(selected) == 0 {
+			return fmt.Errorf("unknown scenario %q (see -list)", *scenario)
+		}
 	} else {
-		for _, sc := range chaos.All() {
-			if *smoke && !sc.Smoke {
+		for _, e := range all {
+			if *smoke && !e.smoke {
 				continue
 			}
-			scenarios = append(scenarios, sc)
+			if *shardOnly && !e.shard {
+				continue
+			}
+			selected = append(selected, e)
 		}
 	}
 
 	failed := 0
-	for _, sc := range scenarios {
+	for _, e := range selected {
 		seed := *seedFlag
 		if seed == 0 {
-			seed = faultinject.SeedFromEnv(defaultSeed(sc.Name))
+			seed = faultinject.SeedFromEnv(defaultSeed(e.name))
 		}
-		res, err := chaos.Run(sc, chaos.RunOptions{Seed: seed, ArtifactsDir: *artifacts})
+		res, err := e.run(chaos.RunOptions{Seed: seed, ArtifactsDir: *artifacts})
 		if err != nil {
-			return fmt.Errorf("%s: %w", sc.Name, err)
+			return fmt.Errorf("%s: %w", e.name, err)
 		}
 		status := "PASS"
 		if !res.Passed() {
@@ -92,19 +135,19 @@ func run() error {
 			failed++
 		}
 		fmt.Printf("%s %-24s seed=%d published=%d delivered=%d dups=%d publishErrs=%d elapsed=%v\n",
-			status, sc.Name, res.Seed, res.Published, res.Delivered, res.Duplicates, res.PublishErrs, res.Elapsed)
+			status, e.name, res.Seed, res.Published, res.Delivered, res.Duplicates, res.PublishErrs, res.Elapsed)
 		if !res.Passed() {
 			for _, f := range res.Failures {
 				fmt.Printf("     invariant violated: %s\n", f)
 			}
-			fmt.Printf("     replay: frame-chaos -scenario %s -seed %d\n", sc.Name, res.Seed)
+			fmt.Printf("     replay: frame-chaos -scenario %s -seed %d\n", e.name, res.Seed)
 			if res.ArtifactPath != "" {
 				fmt.Printf("     artifact: %s\n", res.ArtifactPath)
 			}
 		}
 	}
 	if failed > 0 {
-		return fmt.Errorf("%d of %d scenarios failed", failed, len(scenarios))
+		return fmt.Errorf("%d of %d scenarios failed", failed, len(selected))
 	}
 	return nil
 }

@@ -5,11 +5,15 @@
 // with the predicted Message Delivery CPU demand before and after.
 //
 // With no -topics file it plans the paper's Table 2 workload at the given
-// scale.
+// scale. With -shards > 1 it plans each broker pair's jump-hash partition
+// independently (the Lemma 1/2 budgets are per-pair); with -target-util it
+// finds the smallest shard count whose hottest pair fits the target.
 //
 // Usage:
 //
 //	frame-plan [-topics file | -scale 7525] [-bs-cloud 20ms] [-x 50ms]
+//	frame-plan -scale 13525 -shards 4
+//	frame-plan -scale 13525 -target-util 0.5 [-max-shards 64]
 package main
 
 import (
@@ -39,6 +43,9 @@ func run() error {
 		bsCloud    = flag.Duration("bs-cloud", 20*time.Millisecond, "ΔBS lower bound for cloud subscribers")
 		bb         = flag.Duration("bb", 50*time.Microsecond, "ΔBB broker→backup latency")
 		x          = flag.Duration("x", 50*time.Millisecond, "publisher fail-over time x")
+		shards     = flag.Int("shards", 1, "plan across N broker pairs (jump-hash topic partition)")
+		targetUtil = flag.Float64("target-util", 0, "find the smallest shard count whose hottest pair's delivery utilization fits this fraction")
+		maxShards  = flag.Int("max-shards", 64, "upper bound for the -target-util search")
 	)
 	flag.Parse()
 
@@ -67,7 +74,25 @@ func run() error {
 		topics = w.Topics
 	}
 
-	pl, err := plan.Build(topics, params, simcluster.DefaultCostModel())
+	cost := simcluster.DefaultCostModel()
+	if *targetUtil > 0 {
+		n, sp, err := plan.MinShards(topics, params, cost, *targetUtil, *maxShards)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("minimum shards for ≤%.0f%% delivery utilization: %d\n\n", 100**targetUtil, n)
+		fmt.Print(sp.Format())
+		return nil
+	}
+	if *shards > 1 {
+		sp, err := plan.BuildSharded(topics, *shards, params, cost)
+		if err != nil {
+			return err
+		}
+		fmt.Print(sp.Format())
+		return nil
+	}
+	pl, err := plan.Build(topics, params, cost)
 	if err != nil {
 		return err
 	}

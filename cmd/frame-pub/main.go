@@ -8,6 +8,12 @@
 //
 //	frame-pub -primary localhost:7401 -backup localhost:7402 \
 //	          -topics topics.txt -duration 60s
+//
+// Against a sharded cluster (cmd/frame-cluster), point it at the routing
+// Directory instead; topics are routed to their owning pair by the cached
+// epoch-versioned table, and WrongShard redirects refresh it:
+//
+//	frame-pub -directory localhost:7400 -topics topics.txt
 package main
 
 import (
@@ -22,8 +28,17 @@ import (
 
 	frame "repro"
 	"repro/internal/clocksync"
+	"repro/internal/cluster"
 	"repro/internal/spec"
 )
+
+// publisher is the part of the API the publish loop needs; satisfied by
+// both the per-pair frame.Publisher and the sharded cluster.Publisher.
+type publisher interface {
+	Publish(topic spec.TopicID, payload []byte) (uint64, error)
+	LastSeq(topic spec.TopicID) uint64
+	Close()
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -36,6 +51,7 @@ func run() error {
 	var (
 		primary    = flag.String("primary", "127.0.0.1:7401", "primary broker address")
 		backup     = flag.String("backup", "", "backup broker address (empty: no failover)")
+		directory  = flag.String("directory", "", "routing Directory address of a sharded cluster; overrides -primary/-backup")
 		topicsPath = flag.String("topics", "", "topic spec file (required)")
 		duration   = flag.Duration("duration", 60*time.Second, "how long to publish (0 = forever)")
 		name       = flag.String("name", "frame-pub", "publisher name")
@@ -57,22 +73,56 @@ func run() error {
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	network := frame.NewTCPNetwork(2 * time.Second)
-	clock, stopSync, err := syncedClock(network, *primary)
-	if err != nil {
-		return err
-	}
-	defer stopSync()
-	pub, err := frame.NewPublisher(frame.PublisherOptions{
-		Name:        *name,
-		Topics:      topics,
-		PrimaryAddr: *primary,
-		BackupAddr:  *backup,
-		Network:     network,
-		Clock:       clock,
-		Logger:      logger,
-	})
-	if err != nil {
-		return err
+
+	var pub publisher
+	if *directory != "" {
+		router, err := cluster.NewRouter(cluster.RouterOptions{
+			DirectoryAddr: *directory,
+			Network:       network,
+			Logger:        logger,
+		})
+		if err != nil {
+			return err
+		}
+		// Discipline the clock against the first shard's Primary; the whole
+		// cluster shares one timebase.
+		clock, stopSync, err := syncedClock(network, router.Table().Shards[0].Primary)
+		if err != nil {
+			return err
+		}
+		defer stopSync()
+		cp, err := cluster.NewPublisher(cluster.PublisherOptions{
+			Name:            *name,
+			Topics:          topics,
+			Router:          router,
+			Network:         network,
+			Clock:           clock,
+			RefreshInterval: time.Second,
+			Logger:          logger,
+		})
+		if err != nil {
+			return err
+		}
+		pub = cp
+	} else {
+		clock, stopSync, err := syncedClock(network, *primary)
+		if err != nil {
+			return err
+		}
+		defer stopSync()
+		fp, err := frame.NewPublisher(frame.PublisherOptions{
+			Name:        *name,
+			Topics:      topics,
+			PrimaryAddr: *primary,
+			BackupAddr:  *backup,
+			Network:     network,
+			Clock:       clock,
+			Logger:      logger,
+		})
+		if err != nil {
+			return err
+		}
+		pub = fp
 	}
 	defer pub.Close()
 
@@ -167,7 +217,7 @@ func syncedClock(network frame.Network, serverAddr string) (frame.Clock, func(),
 	return runner.Clock(), stop, nil
 }
 
-func report(pub *frame.Publisher, topics []frame.Topic, published uint64, start time.Time) error {
+func report(pub publisher, topics []frame.Topic, published uint64, start time.Time) error {
 	elapsed := time.Since(start)
 	fmt.Printf("published %d messages over %v (%.0f msg/s)\n",
 		published, elapsed.Round(time.Millisecond), float64(published)/elapsed.Seconds())

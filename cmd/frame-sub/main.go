@@ -6,6 +6,12 @@
 // Usage:
 //
 //	frame-sub -brokers localhost:7401,localhost:7402 -topics 0,1,2 -duration 60s
+//
+// Against a sharded cluster (cmd/frame-cluster), point it at the routing
+// Directory instead; it subscribes to every pair in the table and
+// de-duplicates cluster-wide:
+//
+//	frame-sub -directory localhost:7400 -topics 0,1,2
 package main
 
 import (
@@ -23,7 +29,16 @@ import (
 
 	frame "repro"
 	"repro/internal/clocksync"
+	"repro/internal/cluster"
 )
+
+// subscriber is the part of the API the report loop needs; satisfied by
+// both the per-pair frame.Subscriber and the sharded cluster.Subscriber.
+type subscriber interface {
+	Latencies(topic frame.TopicID) []time.Duration
+	Duplicates() uint64
+	Close()
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -34,11 +49,12 @@ func main() {
 
 func run() error {
 	var (
-		brokers  = flag.String("brokers", "127.0.0.1:7401,127.0.0.1:7402", "comma-separated broker addresses")
-		topicArg = flag.String("topics", "", "comma-separated topic ids (required)")
-		duration = flag.Duration("duration", 60*time.Second, "how long to listen (0 = until interrupted)")
-		name     = flag.String("name", "frame-sub", "subscriber name")
-		deadline = flag.Duration("deadline", 0, "report deadline-meet rate against this bound (0 = skip)")
+		brokers   = flag.String("brokers", "127.0.0.1:7401,127.0.0.1:7402", "comma-separated broker addresses")
+		directory = flag.String("directory", "", "routing Directory address of a sharded cluster; overrides -brokers")
+		topicArg  = flag.String("topics", "", "comma-separated topic ids (required)")
+		duration  = flag.Duration("duration", 60*time.Second, "how long to listen (0 = until interrupted)")
+		name      = flag.String("name", "frame-sub", "subscriber name")
+		deadline  = flag.Duration("deadline", 0, "report deadline-meet rate against this bound (0 = skip)")
 	)
 	flag.Parse()
 	if *topicArg == "" {
@@ -55,25 +71,58 @@ func run() error {
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	network := frame.NewTCPNetwork(2 * time.Second)
-	addrs := strings.Split(*brokers, ",")
-	clock, stopSync, err := syncedClock(network, strings.TrimSpace(addrs[0]))
-	if err != nil {
-		return err
-	}
-	defer stopSync()
-	sub, err := frame.NewSubscriber(frame.SubscriberOptions{
-		Name:        *name,
-		Topics:      topics,
-		BrokerAddrs: addrs,
-		Network:     network,
-		Clock:       clock,
-		Logger:      logger,
-	})
-	if err != nil {
-		return err
+
+	var sub subscriber
+	if *directory != "" {
+		router, err := cluster.NewRouter(cluster.RouterOptions{
+			DirectoryAddr: *directory,
+			Network:       network,
+			Logger:        logger,
+		})
+		if err != nil {
+			return err
+		}
+		clock, stopSync, err := syncedClock(network, router.Table().Shards[0].Primary)
+		if err != nil {
+			return err
+		}
+		defer stopSync()
+		cs, err := cluster.NewSubscriber(cluster.SubscriberOptions{
+			Name:    *name,
+			Topics:  topics,
+			Router:  router,
+			Network: network,
+			Clock:   clock,
+			Logger:  logger,
+		})
+		if err != nil {
+			return err
+		}
+		sub = cs
+		logger.Info("subscribed", "topics", len(topics),
+			"directory", *directory, "shards", len(router.Table().Shards))
+	} else {
+		addrs := strings.Split(*brokers, ",")
+		clock, stopSync, err := syncedClock(network, strings.TrimSpace(addrs[0]))
+		if err != nil {
+			return err
+		}
+		defer stopSync()
+		fs, err := frame.NewSubscriber(frame.SubscriberOptions{
+			Name:        *name,
+			Topics:      topics,
+			BrokerAddrs: addrs,
+			Network:     network,
+			Clock:       clock,
+			Logger:      logger,
+		})
+		if err != nil {
+			return err
+		}
+		sub = fs
+		logger.Info("subscribed", "topics", len(topics), "brokers", *brokers)
 	}
 	defer sub.Close()
-	logger.Info("subscribed", "topics", len(topics), "brokers", *brokers)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -153,6 +153,13 @@ type Options struct {
 	// link so a wedged Backup cannot block Replicator workers indefinitely.
 	// Zero means DefaultPeerWriteTimeout; negative disables the bound.
 	PeerWriteTimeout time.Duration
+	// ShardEpoch, when non-nil, marks this broker as one shard of a cluster
+	// and supplies the routing-table epoch it believes in (see package
+	// cluster). A publish naming a topic the broker does not serve then
+	// answers with a WrongShard redirect carrying that epoch — telling the
+	// publisher its cached routing table is stale — instead of being
+	// dropped as a configuration error. Must be safe for concurrent use.
+	ShardEpoch func() uint64
 }
 
 // DefaultPeerWriteTimeout is the replication-link write-stall bound when
@@ -747,10 +754,15 @@ func (b *Broker) handleFrame(conn *transport.Conn, f *wire.Frame) error {
 	case wire.TypeHello:
 		return nil // roles are implicit in subsequent traffic
 	case wire.TypePublish, wire.TypeResend:
-		// An unknown topic is the sender's configuration error, not a
-		// protocol fault: drop the message but keep the session, which may
-		// carry other, valid topics.
 		if err := b.onPublish(f.Msg); err != nil {
+			// In a cluster, an unknown topic means the publisher routed on a
+			// stale table: answer with a WrongShard redirect so it refreshes
+			// and re-homes the topic. Outside a cluster it is the sender's
+			// configuration error, not a protocol fault: drop the message but
+			// keep the session, which may carry other, valid topics.
+			if b.opts.ShardEpoch != nil && errors.Is(err, core.ErrUnknownTopic) {
+				return conn.Send(&wire.Frame{Type: wire.TypeWrongShard, Topic: f.Msg.Topic, Epoch: b.opts.ShardEpoch()})
+			}
 			b.log.Warn("publish rejected", "topic", f.Msg.Topic, "err", err)
 		}
 		return nil

@@ -646,3 +646,62 @@ func TestUnknownTopicPublishKeepsSession(t *testing.T) {
 		t.Errorf("got %v nonce %d", f.Type, f.Nonce)
 	}
 }
+
+// TestShardBrokerRedirectsUnknownTopic: a broker given a ShardEpoch hook
+// answers publishes for topics outside its shard with a WrongShard redirect
+// carrying its epoch, and the session stays usable.
+func TestShardBrokerRedirectsUnknownTopic(t *testing.T) {
+	n := transport.NewMem()
+	clock := testClock()
+	cfg := core.FRAMEConfig(lanParams())
+	cfg.MessageBufferCap = 1024
+	b, err := New(Options{
+		Engine:     cfg,
+		Role:       RolePrimary,
+		ListenAddr: "shard0",
+		Network:    n,
+		Clock:      clock,
+		Workers:    2,
+		Topics:     []spec.Topic{lanTopic(1, 3)},
+		Logger:     quietLogger(),
+		ShardEpoch: func() uint64 { return 42 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	t.Cleanup(b.Stop)
+	nc, err := n.Dial("shard0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := transport.NewConn(nc)
+	defer conn.Close()
+	if err := conn.Send(&wire.Frame{Type: wire.TypePublish, Msg: wire.Message{Topic: 999, Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.TypeWrongShard || f.Topic != 999 || f.Epoch != 42 {
+		t.Errorf("got %v topic %d epoch %d, want WRONG_SHARD topic 999 epoch 42", f.Type, f.Topic, f.Epoch)
+	}
+	// An owned topic on the same session still publishes normally.
+	if err := conn.Send(&wire.Frame{Type: wire.TypePublish, Msg: wire.Message{Topic: 1, Seq: 1, Created: clock()}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(&wire.Frame{Type: wire.TypePoll, Nonce: 8}); err != nil {
+		t.Fatal(err)
+	}
+	f, err = conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.TypePollReply || f.Nonce != 8 {
+		t.Errorf("got %v nonce %d", f.Type, f.Nonce)
+	}
+}

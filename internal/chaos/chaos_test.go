@@ -52,6 +52,75 @@ func TestChaosScenarios(t *testing.T) {
 	}
 }
 
+// TestShardChaosScenarios runs every shard-level scenario against a full
+// multi-pair cluster with its routing Directory. All shipped shard
+// scenarios are Smoke (the `shard smoke` CI job runs this file under
+// -short); the nightly chaos workflow runs them with more seeds.
+func TestShardChaosScenarios(t *testing.T) {
+	artifacts := os.Getenv("FRAME_CHAOS_ARTIFACTS")
+	for _, sc := range chaos.ShardAll() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if testing.Short() && !sc.Smoke {
+				t.Skip("not in the -short smoke subset")
+			}
+			seed := faultinject.SeedFromEnv(defaultSeed(sc.Name))
+			res, err := chaos.RunShard(sc, chaos.RunOptions{Seed: seed, ArtifactsDir: artifacts})
+			if err != nil {
+				t.Fatalf("seed=%d setup: %v (replay: FRAME_CHAOS_SEED=%d)", seed, err, seed)
+			}
+			t.Logf("seed=%d published=%d delivered=%d dups=%d frames=%d publishErrs=%d elapsed=%v",
+				res.Seed, res.Published, res.Delivered, res.Duplicates, res.Frames, res.PublishErrs, res.Elapsed)
+			if !res.Passed() {
+				t.Logf("replay: FRAME_CHAOS_SEED=%d go test -count=1 -run 'TestShardChaosScenarios/%s' ./internal/chaos/",
+					res.Seed, sc.Name)
+				if res.ArtifactPath != "" {
+					t.Logf("artifact: %s", res.ArtifactPath)
+				}
+				for _, line := range res.Transcript.Tail(40) {
+					t.Log(line)
+				}
+				for _, f := range res.Failures {
+					t.Errorf("invariant violated: %s", f)
+				}
+			}
+		})
+	}
+}
+
+// TestShardScenarioRegistry guards the shard registry the CI shard-smoke
+// job depends on: unique names, resolvable by ShardFind, and a non-empty
+// smoke subset.
+func TestShardScenarioRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	smoke := 0
+	all := chaos.ShardAll()
+	if len(all) < 2 {
+		t.Fatalf("%d shard scenarios shipped, want >= 2", len(all))
+	}
+	for _, sc := range all {
+		if seen[sc.Name] {
+			t.Errorf("duplicate shard scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Smoke {
+			smoke++
+		}
+		if sc.Shards < 2 {
+			t.Errorf("shard scenario %q runs on %d shards — not a sharding test", sc.Name, sc.Shards)
+		}
+		if _, err := chaos.ShardFind(sc.Name); err != nil {
+			t.Errorf("ShardFind(%q): %v", sc.Name, err)
+		}
+	}
+	if smoke == 0 {
+		t.Error("no Smoke shard scenarios — the shard-smoke gate would run nothing")
+	}
+	if _, err := chaos.ShardFind("no-such-scenario"); err == nil {
+		t.Error("ShardFind accepted an unknown name")
+	}
+}
+
 // TestScenarioNamesUniqueAndSmokeSubset guards the registry shape the CI
 // pipelines depend on: unique names, at least six scenarios, and a
 // non-empty smoke subset for PR gating.

@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/spec"
+)
+
+// shardTopics spreads n chaos topics (IDs 1..n) across the cluster; with
+// the jump hash this covers every shard for the counts the scenarios use.
+func shardTopics(n, retention int) []spec.Topic {
+	out := make([]spec.Topic, n)
+	for i := range out {
+		out[i] = chaosTopic(spec.TopicID(i+1), retention)
+	}
+	return out
+}
+
+// ShardAll returns every shipped shard-level scenario. Names are stable —
+// CI artifacts and replay commands reference them.
+func ShardAll() []ShardScenario {
+	return []ShardScenario{
+		shardKillPair(),
+		shardRoutingPartition(),
+	}
+}
+
+// ShardFind returns the named shard scenario.
+func ShardFind(name string) (ShardScenario, error) {
+	for _, sc := range ShardAll() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return ShardScenario{}, fmt.Errorf("chaos: unknown shard scenario %q", name)
+}
+
+// shardKillPair fail-stops one shard's Primary mid-load in a three-pair
+// cluster. The pair's Backup must promote within the detector bound and
+// the Directory must record the promotion with the pair keeping its shard
+// (epoch bump, same index); the publisher's per-pair fail-over plus resend
+// covers the killed shard's topics, and the surviving shards' topics must
+// never notice — zero loss, strict FIFO on their links.
+func shardKillPair() ShardScenario {
+	const shards = 3
+	topics := shardTopics(9, 256)
+	// Kill the shard that owns topic 1, so the scenario deterministically
+	// exercises both a hit shard and untouched survivors.
+	victim := cluster.ShardOf(topics[0].ID, shards)
+	return ShardScenario{
+		Name:        "shard-kill-pair",
+		Description: "fail-stop one shard's Primary in a 3-pair cluster; its Backup keeps the shard, survivors never notice",
+		Smoke:       true,
+		Shards:      shards,
+		Topics:      topics,
+		Load:        Load{Count: 200, Interval: 2 * time.Millisecond, PayloadSize: 16},
+		Script: []ShardStep{
+			{At: 150 * time.Millisecond, Desc: fmt.Sprintf("crash shard %d primary", victim),
+				Do: CrashShardPrimary(victim)},
+		},
+		Invariants: Invariants{
+			RequireAll:         true,
+			MaxConsecutiveLoss: 0,
+			AllowedRewinds:     2, // recovery run + resend run on the hit pair's links
+		},
+		PromoteShard: victim,
+		Check: func(e *ShardEnv) []string {
+			var v []string
+			// The routing table must have recorded exactly this promotion:
+			// epoch bumped once, the pair keeps the shard with the promoted
+			// Backup as Primary and no Backup.
+			tab := e.Cluster.Dir.Table()
+			if tab.Epoch != 2 {
+				v = append(v, fmt.Sprintf("directory epoch %d after one promotion, want 2", tab.Epoch))
+			}
+			pair := e.Cluster.Pairs[victim]
+			entry := tab.Shards[victim]
+			if entry.Primary != pair.Backup.Addr() || entry.Backup != "" {
+				v = append(v, fmt.Sprintf("shard %d entry %+v does not show the promoted backup owning the shard", victim, entry))
+			}
+			// Survivors' entries are untouched.
+			for _, p := range e.Cluster.Pairs {
+				if p.Index == victim {
+					continue
+				}
+				entry := tab.Shards[p.Index]
+				if entry.Primary != p.Primary.Addr() || entry.Backup != p.Backup.Addr() {
+					v = append(v, fmt.Sprintf("surviving shard %d entry %+v changed", p.Index, entry))
+				}
+			}
+			return v
+		},
+	}
+}
+
+// shardRoutingPartition cuts the routing Directory off from the publisher
+// and subscriber for most of the load window. Stale routes beat no
+// routes: the cached table keeps the data plane running untouched — zero
+// loss, strict FIFO, no promotion anywhere — while every poll of the
+// Directory fails.
+func shardRoutingPartition() ShardScenario {
+	const shards = 3
+	return ShardScenario{
+		Name:        "shard-routing-partition",
+		Description: "partition the routing plane from the clients; cached routes keep the data plane lossless",
+		Smoke:       true,
+		Shards:      shards,
+		Topics:      shardTopics(9, 64),
+		Load:        Load{Count: 200, Interval: 2 * time.Millisecond, PayloadSize: 16},
+		Script: []ShardStep{
+			{At: 50 * time.Millisecond, Desc: "partition routing | clients",
+				Do: ShardRaisePartition("routing-out", []string{cluster.NodeRouting}, []string{NodePub, NodeSub})},
+			{At: 400 * time.Millisecond, Desc: "heal routing partition",
+				Do: ShardHealPartition("routing-out")},
+		},
+		Invariants: Invariants{
+			RequireAll:         true,
+			MaxConsecutiveLoss: 0,
+			AllowedRewinds:     0,
+		},
+		PromoteShard: -1,
+		Check: func(e *ShardEnv) []string {
+			var v []string
+			// No redirects and no re-homes: the outage never touched routing
+			// correctness, only availability of the refresh path.
+			if n := e.Pub.Rehomed(); n != 0 {
+				v = append(v, fmt.Sprintf("%d topics re-homed during a pure routing-plane outage", n))
+			}
+			if e.Pub.Epoch() != 1 {
+				v = append(v, fmt.Sprintf("publisher epoch %d, want untouched 1", e.Pub.Epoch()))
+			}
+			return v
+		},
+	}
+}

@@ -38,6 +38,12 @@ type PublisherOptions struct {
 	// Detector tunes crash detection of the Primary; zero-value means
 	// failover.DefaultConfig. Only used when BackupAddr is non-empty.
 	Detector failover.Config
+	// OnWrongShard, if non-nil, runs whenever a broker answers a publish
+	// with a WrongShard redirect, passing the rejected topic and the
+	// broker's routing epoch, from a receiving goroutine. Cluster
+	// publishers use it to refresh a stale cached routing table and
+	// re-home the topic (package cluster).
+	OnWrongShard func(topic spec.TopicID, epoch uint64)
 	// Logger receives operational events; nil means slog.Default.
 	Logger *slog.Logger
 }
@@ -69,9 +75,8 @@ func NewPublisher(opts PublisherOptions) (*Publisher, error) {
 	if opts.Network == nil || opts.Clock == nil {
 		return nil, errors.New("client: publisher needs network and clock")
 	}
-	if len(opts.Topics) == 0 {
-		return nil, errors.New("client: publisher needs at least one topic")
-	}
+	// Zero topics is allowed: a cluster publisher opens an empty shell per
+	// shard and AdoptTopic populates it as the routing table assigns work.
 	if opts.Detector == (failover.Config{}) {
 		opts.Detector = failover.DefaultConfig()
 	}
@@ -102,6 +107,7 @@ func NewPublisher(opts PublisherOptions) (*Publisher, error) {
 	p.conn = conn
 	ctx, cancel := context.WithCancel(context.Background())
 	p.cancel = cancel
+	p.startRecvLoop(ctx, conn)
 	if opts.BackupAddr != "" {
 		backup, err := dialHello(opts.Network, opts.BackupAddr, opts.Name, wire.RolePublisher)
 		if err != nil {
@@ -110,6 +116,7 @@ func NewPublisher(opts PublisherOptions) (*Publisher, error) {
 			return nil, fmt.Errorf("client: dial backup: %w", err)
 		}
 		p.backup = backup
+		p.startRecvLoop(ctx, backup)
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
@@ -117,6 +124,30 @@ func NewPublisher(opts PublisherOptions) (*Publisher, error) {
 		}()
 	}
 	return p, nil
+}
+
+// startRecvLoop drains broker→publisher frames on conn until it closes.
+// Publishers historically never read their links; the cluster redirect
+// protocol makes the reverse direction carry WrongShard frames, so every
+// link gets a reader to surface them (and to keep the broker's send path
+// from backing up against an unread socket).
+func (p *Publisher) startRecvLoop(ctx context.Context, conn *transport.Conn) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		stop := context.AfterFunc(ctx, func() { conn.Close() })
+		defer stop()
+		f := transport.GetFrame()
+		defer transport.PutFrame(f)
+		for {
+			if err := conn.RecvInto(f); err != nil {
+				return
+			}
+			if f.Type == wire.TypeWrongShard && p.opts.OnWrongShard != nil {
+				p.opts.OnWrongShard(f.Topic, f.Epoch)
+			}
+		}
+	}()
 }
 
 func dialHello(n transport.Network, addr, name string, role wire.Role) (*transport.Conn, error) {
@@ -167,6 +198,62 @@ func (p *Publisher) LastSeq(topic spec.TopicID) uint64 {
 // FailedOver returns a channel closed once the publisher has redirected to
 // the Backup.
 func (p *Publisher) FailedOver() <-chan struct{} { return p.failedOverCh }
+
+// DropTopic removes the topic from this publisher and returns its portable
+// state for re-homing on the publisher of another shard: the last sequence
+// number created and the retained messages, oldest first. Publishing to a
+// dropped topic fails until it is adopted again.
+func (p *Publisher) DropTopic(id spec.TopicID) (lastSeq uint64, retained []wire.Message, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.topics[id]; !ok {
+		return 0, nil, fmt.Errorf("client: publisher does not own topic %d", id)
+	}
+	lastSeq = p.seqs[id]
+	if ring := p.retained[id]; ring != nil {
+		ring.Do(func(_ uint64, m wire.Message) { retained = append(retained, m) })
+	}
+	delete(p.topics, id)
+	delete(p.seqs, id)
+	delete(p.retained, id)
+	return lastSeq, retained, nil
+}
+
+// AdoptTopic registers a topic previously owned elsewhere, seeding its
+// sequence counter and retained ring from DropTopic's output so sequence
+// numbers stay gapless across the move. When resend is true the retained
+// messages are also re-sent to the current broker as Resend frames — the
+// §III-B fail-over flow reused for shard re-homing; subscriber duplicate
+// discard absorbs any overlap with messages the old shard already
+// dispatched.
+func (p *Publisher) AdoptTopic(t spec.Topic, lastSeq uint64, retained []wire.Message, resend bool) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.topics[t.ID]; ok {
+		return fmt.Errorf("client: publisher already owns topic %d", t.ID)
+	}
+	p.topics[t.ID] = t
+	p.seqs[t.ID] = lastSeq
+	var ring *ringbuf.Ring[wire.Message]
+	if t.Retention > 0 {
+		ring = ringbuf.New[wire.Message](t.Retention)
+		p.retained[t.ID] = ring
+	}
+	for _, m := range retained {
+		if ring != nil {
+			ring.Push(m)
+		}
+		if resend {
+			if err := p.conn.Send(&wire.Frame{Type: wire.TypeResend, Msg: m}); err != nil {
+				return fmt.Errorf("client: adopt resend topic %d seq %d: %w", t.ID, m.Seq, err)
+			}
+		}
+	}
+	return nil
+}
 
 // watchPrimary runs the crash detector over a dedicated polling connection,
 // then performs the §III-B fail-over: redirect traffic to the Backup and

@@ -127,7 +127,6 @@ func TestPublisherValidation(t *testing.T) {
 	}{
 		{"nil network", PublisherOptions{Clock: clock(), Topics: []spec.Topic{topic(1, 1)}}},
 		{"nil clock", PublisherOptions{Network: n, Topics: []spec.Topic{topic(1, 1)}}},
-		{"no topics", PublisherOptions{Network: n, Clock: clock()}},
 		{"invalid topic", PublisherOptions{Network: n, Clock: clock(),
 			Topics: []spec.Topic{{ID: 1}}, PrimaryAddr: "primary"}},
 		{"bad primary addr", PublisherOptions{Network: n, Clock: clock(),
@@ -143,6 +142,14 @@ func TestPublisherValidation(t *testing.T) {
 			}
 		})
 	}
+	// Zero topics is a valid empty shell (cluster re-homing adopts into it).
+	pub, err := NewPublisher(PublisherOptions{
+		Network: n, Clock: clock(), PrimaryAddr: "primary", Logger: quiet(),
+	})
+	if err != nil {
+		t.Fatalf("zero-topic publisher rejected: %v", err)
+	}
+	pub.Close()
 }
 
 func TestPublisherStampsSequencesAndRetains(t *testing.T) {
@@ -259,6 +266,119 @@ func TestPublisherRejectsUnownedTopic(t *testing.T) {
 	defer pub.Close()
 	if _, err := pub.Publish(42, nil); err == nil {
 		t.Error("unowned topic accepted")
+	}
+}
+
+func TestPublisherWrongShardRedirectCallback(t *testing.T) {
+	n := transport.NewMem()
+	primary := newFakeBroker(t, n, "primary")
+	type redirect struct {
+		topic spec.TopicID
+		epoch uint64
+	}
+	got := make(chan redirect, 1)
+	pub, err := NewPublisher(PublisherOptions{
+		Name: "p", Topics: []spec.Topic{topic(1, 0)},
+		PrimaryAddr: "primary", Network: n, Clock: clock(), Logger: quiet(),
+		OnWrongShard: func(id spec.TopicID, epoch uint64) { got <- redirect{id, epoch} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if _, err := pub.Publish(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the broker to see the publish, then redirect on the same link.
+	deadline := time.Now().Add(time.Second)
+	for len(primary.framesOf(wire.TypePublish)) < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	primary.mu.Lock()
+	conn := primary.conns[0]
+	primary.mu.Unlock()
+	if err := conn.Send(&wire.Frame{Type: wire.TypeWrongShard, Topic: 1, Epoch: 9}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-got:
+		if r.topic != 1 || r.epoch != 9 {
+			t.Errorf("redirect = %+v, want topic 1 epoch 9", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnWrongShard never invoked")
+	}
+}
+
+func TestPublisherDropAndAdoptTopic(t *testing.T) {
+	n := transport.NewMem()
+	newFakeBroker(t, n, "a")
+	b := newFakeBroker(t, n, "b")
+	src, err := NewPublisher(PublisherOptions{
+		Name: "src", Topics: []spec.Topic{topic(1, 3)},
+		PrimaryAddr: "a", Network: n, Clock: clock(), Logger: quiet(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := NewPublisher(PublisherOptions{
+		Name: "dst", Topics: []spec.Topic{topic(2, 0)},
+		PrimaryAddr: "b", Network: n, Clock: clock(), Logger: quiet(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	for i := 0; i < 5; i++ {
+		if _, err := src.Publish(1, []byte("retained-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lastSeq, retained, err := src.DropTopic(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq != 5 || len(retained) != 3 {
+		t.Fatalf("DropTopic = seq %d, %d retained; want 5, 3", lastSeq, len(retained))
+	}
+	if _, err := src.Publish(1, nil); err == nil {
+		t.Error("publish to dropped topic accepted")
+	}
+	if _, _, err := src.DropTopic(1); err == nil {
+		t.Error("double drop accepted")
+	}
+
+	if err := dst.AdoptTopic(topic(1, 3), lastSeq, retained, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.AdoptTopic(topic(1, 3), lastSeq, retained, false); err == nil {
+		t.Error("double adopt accepted")
+	}
+	// Sequence numbering continues gaplessly on the new shard.
+	seq, err := dst.Publish(1, []byte("after-the-move!!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 {
+		t.Errorf("post-adopt seq = %d, want 6", seq)
+	}
+	// The retained window was re-sent to the new shard's broker (§III-B flow).
+	deadline := time.Now().Add(time.Second)
+	for len(b.framesOf(wire.TypeResend)) < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	resends := b.framesOf(wire.TypeResend)
+	if len(resends) != 3 {
+		t.Fatalf("new broker saw %d resends, want 3", len(resends))
+	}
+	want := uint64(3)
+	for _, f := range resends {
+		if f.Msg.Topic != 1 || f.Msg.Seq != want {
+			t.Errorf("resend topic %d seq %d, want topic 1 seq %d", f.Msg.Topic, f.Msg.Seq, want)
+		}
+		want++
 	}
 }
 

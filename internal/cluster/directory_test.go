@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"log/slog"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func quietLog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(discardWriter{}, &slog.HandlerOptions{Level: slog.LevelError}))
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func threePairs() []wire.ShardEntry {
+	return []wire.ShardEntry{
+		{Primary: "p0", Backup: "b0"},
+		{Primary: "p1", Backup: "b1"},
+		{Primary: "p2", Backup: "b2"},
+	}
+}
+
+func startDirectory(t *testing.T, n transport.Network, entries []wire.ShardEntry) *Directory {
+	t.Helper()
+	dir, err := NewDirectory(DirectoryOptions{
+		ListenAddr: NodeRouting, Network: n, Shards: entries, Logger: quietLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dir.Close)
+	return dir
+}
+
+func newTestRouter(t *testing.T, n transport.Network, addr string) *Router {
+	t.Helper()
+	r, err := NewRouter(RouterOptions{
+		DirectoryAddr: addr, Network: n, Timeout: 2 * time.Second, Logger: quietLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDirectoryServesTable(t *testing.T) {
+	n := transport.NewMem()
+	dir := startDirectory(t, n, threePairs())
+	r := newTestRouter(t, n, dir.Addr())
+	tab := r.Table()
+	if tab.Epoch != 1 || len(tab.Shards) != 3 {
+		t.Fatalf("initial table: epoch %d, %d shards; want 1, 3", tab.Epoch, len(tab.Shards))
+	}
+	if tab.Shards[1].Primary != "p1" || tab.Shards[1].Backup != "b1" {
+		t.Errorf("shard 1 = %+v", tab.Shards[1])
+	}
+}
+
+func TestDirectoryPromoteSwapsPairAndBumpsEpoch(t *testing.T) {
+	n := transport.NewMem()
+	dir := startDirectory(t, n, threePairs())
+	if err := dir.Promote(1); err != nil {
+		t.Fatal(err)
+	}
+	tab := dir.Table()
+	if tab.Epoch != 2 {
+		t.Errorf("epoch = %d, want 2", tab.Epoch)
+	}
+	if e := tab.Shards[1]; e.Primary != "b1" || e.Backup != "" {
+		t.Errorf("promoted entry = %+v, want {b1 \"\"}", e)
+	}
+	// The shard's ownership is unchanged: same index, same topic partition.
+	if tab.Shards[0].Primary != "p0" || tab.Shards[2].Primary != "p2" {
+		t.Error("promotion leaked into other shards")
+	}
+	// A pair without a backup cannot promote again.
+	if err := dir.Promote(1); err == nil {
+		t.Error("double promotion accepted")
+	}
+	if err := dir.Promote(7); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+}
+
+func TestRouterNoteEpochRefreshesOnNewerOnly(t *testing.T) {
+	n := transport.NewMem()
+	dir := startDirectory(t, n, threePairs())
+	r := newTestRouter(t, n, dir.Addr())
+	if err := dir.Promote(0); err != nil {
+		t.Fatal(err)
+	}
+	// Stale or equal epochs must not trigger a fetch-visible change.
+	if err := r.NoteEpoch(1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != 1 {
+		t.Errorf("epoch after stale note = %d, want 1", r.Epoch())
+	}
+	// A newer epoch (as a WrongShard redirect would carry) converges.
+	if err := r.NoteEpoch(2); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != 2 {
+		t.Errorf("epoch after note = %d, want 2", r.Epoch())
+	}
+	if e := r.Table().Shards[0]; e.Primary != "b0" {
+		t.Errorf("refreshed entry = %+v", e)
+	}
+}
+
+// TestRouterConvergenceProperty: from any reachable epoch N, a redirect
+// carrying epoch N+1 (or any newer epoch) converges the cache to the
+// directory's table — across random sequences of promotions and resizes.
+func TestRouterConvergenceProperty(t *testing.T) {
+	n := transport.NewMem()
+	dir := startDirectory(t, n, threePairs())
+	r := newTestRouter(t, n, dir.Addr())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		steps := rng.Intn(4) + 1
+		for i := 0; i < steps; i++ {
+			if rng.Intn(2) == 0 {
+				// Resize/repair: replace the table (restores backups too).
+				size := rng.Intn(4) + 1
+				entries := make([]wire.ShardEntry, size)
+				for s := range entries {
+					entries[s] = wire.ShardEntry{Primary: "p", Backup: "b"}
+				}
+				if err := dir.SetShards(entries); err != nil {
+					return false
+				}
+			} else {
+				_ = dir.Promote(rng.Intn(len(dir.Table().Shards))) // may fail on empty backup; epoch then unchanged
+			}
+		}
+		want := dir.Table()
+		// The cache may be arbitrarily stale (epoch N ≤ want.Epoch); one
+		// in-band redirect with the broker's epoch must converge it.
+		if err := r.NoteEpoch(want.Epoch); err != nil {
+			return false
+		}
+		got := r.Table()
+		if got.Epoch != want.Epoch || len(got.Shards) != len(want.Shards) {
+			return false
+		}
+		for i := range got.Shards {
+			if got.Shards[i] != want.Shards[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouterSurvivesDirectoryOutage(t *testing.T) {
+	n := transport.NewMem()
+	dir, err := NewDirectory(DirectoryOptions{
+		ListenAddr: NodeRouting, Network: n, Shards: threePairs(), Logger: quietLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newTestRouter(t, n, dir.Addr())
+	dir.Close()
+	// Refresh fails but the cache — and with it the data plane — survives.
+	if _, err := r.Refresh(); err == nil {
+		t.Error("refresh against a dead directory succeeded")
+	}
+	tab := r.Table()
+	if tab.Epoch != 1 || len(tab.Shards) != 3 {
+		t.Errorf("cached table lost during outage: %+v", tab)
+	}
+}

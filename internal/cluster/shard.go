@@ -1,0 +1,73 @@
+// Package cluster scales FRAME horizontally: N independent Primary+Backup
+// broker pairs (shards), a consistent-hash assignment of topics to shards,
+// and an epoch-versioned routing table that clients fetch, cache, and
+// refresh on WrongShard redirects.
+//
+// Each shard remains exactly the paper's unit of analysis — one
+// Primary+Backup pair running the full §IV state machine — so Lemmas 1–2
+// and Proposition 1 hold per shard with that shard's workload substituted
+// for the global one: sharding partitions the topic set, never a topic's
+// replication or dispatch path. Intra-pair fail-over is likewise unchanged
+// (§III-B): a promoted Backup keeps its shard, and the routing plane only
+// records the new roles by bumping the table epoch.
+//
+// The design follows the clustering pattern of MigratoryData (independent
+// pairs behind a thin routing layer) with FogMQ's argument that shard
+// ownership must survive broker churn (see PAPERS.md).
+package cluster
+
+import (
+	"repro/internal/spec"
+)
+
+// ShardOf maps a topic to one of n shards (0-based) using Lamping &
+// Veach's jump consistent hash over a pre-scrambled key. Jump hashing gives
+// the two properties the routing plane's contract depends on:
+//
+//   - balance: topics spread uniformly across the n shards;
+//   - monotonicity: growing the cluster from n to n+1 shards moves topics
+//     only onto the new shard n — in expectation T/(n+1) of T topics, and
+//     never more than ceil(T/n) in this codebase's workloads (property
+//     tested) — so a resize re-homes the minimum share of the key space.
+//
+// TopicIDs are small dense integers, so they are first run through a
+// splitmix64-style finalizer; feeding sequential IDs straight into the
+// jump-hash LCG would correlate consecutive topics' placements.
+func ShardOf(id spec.TopicID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	key := mix64(uint64(id))
+	var b, j int64 = -1, 0
+	for j < int64(n) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// mix64 is the splitmix64 output finalizer: a bijective scrambler whose
+// high bits depend on every input bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Partition splits topics into n per-shard groups by ShardOf, preserving
+// the input order within each group.
+func Partition(topics []spec.Topic, n int) [][]spec.Topic {
+	if n < 1 {
+		n = 1
+	}
+	parts := make([][]spec.Topic, n)
+	for _, t := range topics {
+		s := ShardOf(t.ID, n)
+		parts[s] = append(parts[s], t)
+	}
+	return parts
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spec"
+)
+
+func TestShardOfBounds(t *testing.T) {
+	f := func(id uint32, n uint8) bool {
+		shards := int(n%16) + 1
+		s := ShardOf(spec.TopicID(id), shards)
+		return s >= 0 && s < shards
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	if ShardOf(5, 0) != 0 || ShardOf(5, 1) != 0 || ShardOf(5, -3) != 0 {
+		t.Error("degenerate shard counts must map to shard 0")
+	}
+}
+
+func TestShardOfDeterministic(t *testing.T) {
+	for id := spec.TopicID(0); id < 1000; id++ {
+		if ShardOf(id, 7) != ShardOf(id, 7) {
+			t.Fatalf("ShardOf(%d, 7) not deterministic", id)
+		}
+	}
+}
+
+// TestShardOfBalance: the paper's workload sizes spread near-uniformly.
+func TestShardOfBalance(t *testing.T) {
+	for _, shards := range []int{2, 3, 4, 8} {
+		for _, total := range spec.WorkloadSizes {
+			counts := make([]int, shards)
+			for id := 0; id < total; id++ {
+				counts[ShardOf(spec.TopicID(id), shards)]++
+			}
+			mean := float64(total) / float64(shards)
+			for s, c := range counts {
+				if dev := math.Abs(float64(c)-mean) / mean; dev > 0.25 {
+					t.Errorf("shards=%d total=%d: shard %d holds %d topics (mean %.0f, deviation %.0f%%)",
+						shards, total, s, c, mean, dev*100)
+				}
+			}
+		}
+	}
+}
+
+// TestShardOfBoundedReassignment: growing n → n+1 shards moves at most
+// ceil(T/n) topics, and every moved topic lands on the new shard n (jump
+// hashing's monotonicity) — the satellite property the routing plane's
+// resize story depends on.
+func TestShardOfBoundedReassignment(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		for _, total := range spec.WorkloadSizes {
+			moved := 0
+			for id := 0; id < total; id++ {
+				before := ShardOf(spec.TopicID(id), n)
+				after := ShardOf(spec.TopicID(id), n+1)
+				if before == after {
+					continue
+				}
+				moved++
+				if after != n {
+					t.Fatalf("n=%d topic %d moved %d→%d, not onto the new shard %d", n, id, before, after, n)
+				}
+			}
+			bound := (total + n - 1) / n // ceil(T/n)
+			if moved > bound {
+				t.Errorf("n=%d→%d total=%d: %d topics moved, bound ceil(T/n)=%d", n, n+1, total, moved, bound)
+			}
+			if moved == 0 && n < total {
+				t.Errorf("n=%d→%d total=%d: no topics moved — new shard would stay empty", n, n+1, total)
+			}
+		}
+	}
+}
+
+func TestPartitionCoversAllTopicsOnce(t *testing.T) {
+	w, err := spec.NewWorkload(1525)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := Partition(w.Topics, 4)
+	seen := make(map[spec.TopicID]bool)
+	for s, part := range parts {
+		for _, tp := range part {
+			if seen[tp.ID] {
+				t.Fatalf("topic %d in two partitions", tp.ID)
+			}
+			seen[tp.ID] = true
+			if ShardOf(tp.ID, 4) != s {
+				t.Fatalf("topic %d in partition %d, ShardOf says %d", tp.ID, s, ShardOf(tp.ID, 4))
+			}
+		}
+	}
+	if len(seen) != len(w.Topics) {
+		t.Fatalf("partitions cover %d of %d topics", len(seen), len(w.Topics))
+	}
+}

@@ -31,6 +31,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,12 @@ import (
 	"repro/internal/timing"
 	"repro/internal/wire"
 )
+
+// ErrUnknownTopic reports a message naming a topic this engine does not
+// serve. In a sharded cluster that is the routine signal that a publisher
+// holds a stale routing table: the broker answers with a WrongShard
+// redirect instead of treating it as a protocol fault (package cluster).
+var ErrUnknownTopic = errors.New("core: unknown topic")
 
 // Config selects the scheduling and fault-tolerance behavior of an engine.
 // The four evaluation configurations of §VI map to:
@@ -414,7 +421,7 @@ func (e *Engine) Topics() []spec.TopicID {
 func (e *Engine) OnPublish(m wire.Message, now time.Duration) error {
 	st, ok := e.topics[m.Topic]
 	if !ok {
-		return fmt.Errorf("core: publish to unknown topic %d", m.Topic)
+		return fmt.Errorf("%w %d (publish)", ErrUnknownTopic, m.Topic)
 	}
 	e.stats.published.Add(1)
 	// The buffer owns its copy of the payload: m.Payload may alias a
@@ -695,7 +702,7 @@ func (e *Engine) OnReplicated(j queue.Job) {
 func (e *Engine) OnReplica(m wire.Message, arrivedPrimary time.Duration) error {
 	st, ok := e.topics[m.Topic]
 	if !ok {
-		return fmt.Errorf("core: replica for unknown topic %d", m.Topic)
+		return fmt.Errorf("%w %d (replica)", ErrUnknownTopic, m.Topic)
 	}
 	discard := false
 	if st.takePendingPrune(m.Seq) {

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// BenchRow is one benchmark sample in the BENCH_EGRESS.json baseline
+// format written by `make bench-json`.
+type BenchRow struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// LoadBenchRows parses a bench-json baseline file.
+func LoadBenchRows(r io.Reader) ([]BenchRow, error) {
+	var rows []BenchRow
+	if err := json.NewDecoder(r).Decode(&rows); err != nil {
+		return nil, fmt.Errorf("bench baseline: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("bench baseline: no rows")
+	}
+	return rows, nil
+}
+
+// CompareBaseline judges fresh benchmark rows against a committed
+// baseline: any benchmark whose ns/op grew by more than maxRegressPct
+// percent, or that starts allocating when the baseline did not, is a
+// violation. Benchmarks present on only one side are violations too —
+// a silently dropped benchmark would otherwise retire its own guard.
+// Faster-than-baseline results are never violations; refresh the
+// committed file to ratchet them in.
+func CompareBaseline(base, fresh []BenchRow, maxRegressPct float64) []string {
+	var v []string
+	fm := make(map[string]BenchRow, len(fresh))
+	for _, r := range fresh {
+		fm[r.Name] = r
+	}
+	for _, b := range base {
+		f, ok := fm[b.Name]
+		if !ok {
+			v = append(v, fmt.Sprintf("%s: in baseline but not in fresh run", b.Name))
+			continue
+		}
+		delete(fm, b.Name)
+		if b.NsPerOp > 0 {
+			growth := 100 * (f.NsPerOp - b.NsPerOp) / b.NsPerOp
+			if growth > maxRegressPct {
+				v = append(v, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (+%.1f%%, budget %.0f%%)",
+					b.Name, f.NsPerOp, b.NsPerOp, growth, maxRegressPct))
+			}
+		}
+		if b.AllocsPerOp == 0 && f.AllocsPerOp > 0 {
+			v = append(v, fmt.Sprintf("%s: %.0f allocs/op vs baseline 0", b.Name, f.AllocsPerOp))
+		}
+	}
+	for name := range fm {
+		v = append(v, fmt.Sprintf("%s: in fresh run but not in baseline (refresh BENCH_EGRESS.json)", name))
+	}
+	return v
+}

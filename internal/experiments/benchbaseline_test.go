@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadBenchRows(t *testing.T) {
+	const sample = `[
+  {"name": "BenchmarkFanout64", "iterations": 396867, "ns_per_op": 3200, "bytes_per_op": 0, "allocs_per_op": 0},
+  {"name": "BenchmarkEgressWritev", "iterations": 100, "ns_per_op": 707.9, "bytes_per_op": 2, "allocs_per_op": 0}
+]`
+	rows, err := LoadBenchRows(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("LoadBenchRows: %v", err)
+	}
+	if len(rows) != 2 || rows[0].Name != "BenchmarkFanout64" || rows[1].NsPerOp != 707.9 {
+		t.Fatalf("parsed %+v", rows)
+	}
+	if _, err := LoadBenchRows(strings.NewReader("[]")); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	if _, err := LoadBenchRows(strings.NewReader("not json")); err == nil {
+		t.Error("malformed baseline accepted")
+	}
+}
+
+func TestCompareBaseline(t *testing.T) {
+	base := []BenchRow{
+		{Name: "A", NsPerOp: 1000, AllocsPerOp: 0},
+		{Name: "B", NsPerOp: 500, AllocsPerOp: 0},
+	}
+
+	// Within budget (and improvements) pass.
+	ok := []BenchRow{
+		{Name: "A", NsPerOp: 1050, AllocsPerOp: 0}, // +5%
+		{Name: "B", NsPerOp: 300, AllocsPerOp: 0},  // faster
+	}
+	if v := CompareBaseline(base, ok, 10); len(v) != 0 {
+		t.Errorf("in-budget run flagged: %v", v)
+	}
+
+	// A >10% ns/op regression fails.
+	slow := []BenchRow{
+		{Name: "A", NsPerOp: 1200, AllocsPerOp: 0},
+		{Name: "B", NsPerOp: 500, AllocsPerOp: 0},
+	}
+	if v := CompareBaseline(base, slow, 10); len(v) != 1 || !strings.Contains(v[0], "A:") {
+		t.Errorf("regression verdicts = %v, want one for A", v)
+	}
+
+	// New allocations on a zero-alloc baseline fail even within the ns budget.
+	alloc := []BenchRow{
+		{Name: "A", NsPerOp: 1000, AllocsPerOp: 2},
+		{Name: "B", NsPerOp: 500, AllocsPerOp: 0},
+	}
+	if v := CompareBaseline(base, alloc, 10); len(v) != 1 || !strings.Contains(v[0], "allocs/op") {
+		t.Errorf("alloc verdicts = %v", v)
+	}
+
+	// A benchmark vanishing from either side is a violation.
+	if v := CompareBaseline(base, ok[:1], 10); len(v) != 1 {
+		t.Errorf("missing-fresh verdicts = %v", v)
+	}
+	extra := append(append([]BenchRow{}, ok...), BenchRow{Name: "C", NsPerOp: 1})
+	if v := CompareBaseline(base, extra, 10); len(v) != 1 {
+		t.Errorf("missing-baseline verdicts = %v", v)
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRunShardScaleSmallWorkload(t *testing.T) {
+	res, err := RunShardScale(Config{}, ShardScaleOptions{
+		Shards:   []int{1, 2},
+		Topics:   8,
+		PerTopic: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Messages != 8*25 {
+			t.Errorf("shards=%d delivered %d, want %d", p.Shards, p.Messages, 8*25)
+		}
+		if p.Throughput <= 0 {
+			t.Errorf("shards=%d throughput %f", p.Shards, p.Throughput)
+		}
+	}
+	text := res.Format()
+	if !strings.Contains(text, "Shard scaling") || strings.Count(text, "\n") != 3 {
+		t.Errorf("format:\n%s", text)
+	}
+	var csv strings.Builder
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != 3 { // header + 2 points
+		t.Errorf("csv rows = %d:\n%s", lines, csv.String())
+	}
+	if _, err := RunShardScale(Config{}, ShardScaleOptions{Shards: []int{0}}); err == nil {
+		t.Error("zero shard count accepted")
+	}
+}
+
+// TestRunShardScaleSpeedupGate: armed where the host can express the
+// scaling (CPUs ≥ largest swept count), skipped where it cannot — CI
+// asserts real scaling only where it can exist.
+func TestRunShardScaleSpeedupGate(t *testing.T) {
+	// {1, 1} never speeds up and fits any host: the gate must fire.
+	if _, err := RunShardScale(Config{}, ShardScaleOptions{
+		Shards: []int{1, 1}, Topics: 4, PerTopic: 10, MinSpeedup: 1e9,
+	}); err == nil {
+		t.Error("unreachable gate passed on a capable host")
+	}
+	// A sweep topping out above the host's CPU count skips the gate. Keep
+	// the oversized point small so huge-core hosts don't pay for it.
+	if runtime.NumCPU() > 16 {
+		t.Skip("host too wide to build a CPUs < shards sweep cheaply")
+	}
+	res, err := RunShardScale(Config{}, ShardScaleOptions{
+		Shards: []int{1, runtime.NumCPU() + 1}, Topics: 4, PerTopic: 10, MinSpeedup: 1e9,
+	})
+	if err != nil {
+		t.Fatalf("gate not skipped on an undersized host: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Points))
+	}
+}

@@ -1,0 +1,103 @@
+// Sharded planning: Lemmas 1–2 and Proposition 1 are per-pair bounds, so
+// a multi-pair cluster's plan is one independent Plan per shard over its
+// jump-hash partition. The cluster-level question is sizing — how many
+// pairs until the hottest shard's delivery demand fits a target — which
+// MinShards answers by scanning shard counts.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/simcluster"
+	"repro/internal/spec"
+	"repro/internal/timing"
+)
+
+// ShardPlan is one shard's capacity plan over its topic partition.
+type ShardPlan struct {
+	Shard int
+	Plan  *Plan
+}
+
+// ShardedPlan is a per-shard capacity plan for a multi-pair cluster.
+type ShardedPlan struct {
+	Shards []ShardPlan
+	// MaxDemand is the hottest shard's predicted delivery utilization
+	// before retention boosts — the figure MinShards drives under target.
+	MaxDemand float64
+	// MeanDemand is the average across shards; MaxDemand/MeanDemand close
+	// to 1 means the jump-hash partition is balanced for this topic set.
+	MeanDemand float64
+	// Inadmissible counts topics failing admission on their shard. The
+	// admission test is per-topic, so this matches the unsharded count.
+	Inadmissible int
+}
+
+// BuildSharded partitions the topic set with the cluster's jump hash and
+// plans each shard independently.
+func BuildSharded(topics []spec.Topic, shards int, p timing.Params, cost simcluster.CostModel) (*ShardedPlan, error) {
+	if shards < 1 {
+		return nil, errors.New("plan: need at least one shard")
+	}
+	out := &ShardedPlan{}
+	for i, part := range cluster.Partition(topics, shards) {
+		pl, err := Build(part, p, cost)
+		if err != nil {
+			return nil, fmt.Errorf("plan: shard %d: %w", i, err)
+		}
+		out.Shards = append(out.Shards, ShardPlan{Shard: i, Plan: pl})
+		out.Inadmissible += pl.Inadmissible
+		out.MeanDemand += pl.DemandBefore
+		if pl.DemandBefore > out.MaxDemand {
+			out.MaxDemand = pl.DemandBefore
+		}
+	}
+	out.MeanDemand /= float64(shards)
+	return out, nil
+}
+
+// MinShards returns the smallest shard count (≤ maxShards) whose hottest
+// shard's delivery demand stays at or under targetUtil, with that count's
+// plan. The scan is linear because jump hashing does not make the hottest
+// shard's demand monotone in the shard count.
+func MinShards(topics []spec.Topic, p timing.Params, cost simcluster.CostModel, targetUtil float64, maxShards int) (int, *ShardedPlan, error) {
+	if targetUtil <= 0 {
+		return 0, nil, errors.New("plan: target utilization must be positive")
+	}
+	if maxShards < 1 {
+		maxShards = 64
+	}
+	for n := 1; n <= maxShards; n++ {
+		sp, err := BuildSharded(topics, n, p, cost)
+		if err != nil {
+			return 0, nil, err
+		}
+		if sp.MaxDemand <= targetUtil {
+			return n, sp, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("plan: no shard count up to %d keeps the hottest shard at or under %.0f%% delivery utilization",
+		maxShards, 100*targetUtil)
+}
+
+// Format renders the per-shard summary table.
+func (sp *ShardedPlan) Format() string {
+	var b strings.Builder
+	total := 0
+	for _, s := range sp.Shards {
+		total += len(s.Plan.Topics)
+	}
+	fmt.Fprintf(&b, "sharded capacity plan — %d topics over %d pairs, delivery utilization hottest %.1f%% / mean %.1f%%\n\n",
+		total, len(sp.Shards), 100*sp.MaxDemand, 100*sp.MeanDemand)
+	fmt.Fprintf(&b, "%5s %7s %11s %12s %9s\n",
+		"shard", "topics", "replicating", "inadmissible", "delivery")
+	for _, s := range sp.Shards {
+		fmt.Fprintf(&b, "%5d %7d %11d %12d %8.1f%%\n",
+			s.Shard, len(s.Plan.Topics), s.Plan.Replicating, s.Plan.Inadmissible,
+			100*s.Plan.DemandBefore)
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/simcluster"
+	"repro/internal/spec"
+	"repro/internal/timing"
+)
+
+func TestBuildShardedSingleShardMatchesBuild(t *testing.T) {
+	w, err := spec.NewWorkload(1525)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Build(w.Topics, timing.PaperParams(), simcluster.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := BuildSharded(w.Topics, 1, timing.PaperParams(), simcluster.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Shards) != 1 {
+		t.Fatalf("shards = %d", len(sp.Shards))
+	}
+	if got, want := sp.MaxDemand, flat.DemandBefore; math.Abs(got-want) > 1e-12 {
+		t.Errorf("single-shard demand %.6f != unsharded %.6f", got, want)
+	}
+}
+
+func TestBuildShardedSplitsDemand(t *testing.T) {
+	w, err := spec.NewWorkload(4525)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, cost := timing.PaperParams(), simcluster.DefaultCostModel()
+	one, err := BuildSharded(w.Topics, 1, p, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := BuildSharded(w.Topics, 4, p, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The partition covers every topic exactly once…
+	total := 0
+	for _, s := range four.Shards {
+		total += len(s.Plan.Topics)
+	}
+	if total != len(w.Topics) {
+		t.Errorf("sharded plan covers %d of %d topics", total, len(w.Topics))
+	}
+	if four.Inadmissible != one.Inadmissible {
+		t.Errorf("sharding changed admission: %d vs %d", four.Inadmissible, one.Inadmissible)
+	}
+	// …and the hottest shard carries a fraction of the whole load: at
+	// worst mean × (1 + balance slack), far under the unsharded demand.
+	if four.MaxDemand >= one.MaxDemand/2 {
+		t.Errorf("hottest of 4 shards %.4f not well under single-pair %.4f", four.MaxDemand, one.MaxDemand)
+	}
+	if four.MaxDemand > four.MeanDemand*1.3 {
+		t.Errorf("imbalanced: hottest %.4f vs mean %.4f", four.MaxDemand, four.MeanDemand)
+	}
+}
+
+func TestMinShardsFindsSmallestFit(t *testing.T) {
+	w, err := spec.NewWorkload(7525)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, cost := timing.PaperParams(), simcluster.DefaultCostModel()
+	one, err := BuildSharded(w.Topics, 1, p, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A target below the single-pair demand forces n > 1.
+	target := one.MaxDemand / 2
+	n, sp, err := MinShards(w.Topics, p, cost, target, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("MinShards = %d, want > 1 for target %.4f", n, target)
+	}
+	if sp.MaxDemand > target {
+		t.Errorf("returned plan's hottest shard %.4f exceeds target %.4f", sp.MaxDemand, target)
+	}
+	below, err := BuildSharded(w.Topics, n-1, p, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below.MaxDemand <= target {
+		t.Errorf("n-1 = %d shards already fit (%.4f ≤ %.4f): not minimal", n-1, below.MaxDemand, target)
+	}
+}
+
+func TestMinShardsErrors(t *testing.T) {
+	topics := paperTopics(t)
+	p, cost := timing.PaperParams(), simcluster.DefaultCostModel()
+	if _, _, err := MinShards(topics, p, cost, 0, 8); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, _, err := MinShards(topics, p, cost, 1e-9, 2); err == nil {
+		t.Error("unreachable target within maxShards accepted")
+	}
+	if _, err := BuildSharded(topics, 0, p, cost); err == nil {
+		t.Error("zero shards accepted")
+	}
+}
+
+func TestShardedFormat(t *testing.T) {
+	w, err := spec.NewWorkload(1525)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := BuildSharded(w.Topics, 3, timing.PaperParams(), simcluster.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := sp.Format()
+	if !strings.Contains(text, "1525 topics over 3 pairs") {
+		t.Errorf("missing header:\n%s", text)
+	}
+	if strings.Count(text, "\n") != 3+3 { // header, blank, column row + one per shard
+		t.Errorf("unexpected shape:\n%s", text)
+	}
+	// Shard rows agree with the jump-hash partition.
+	parts := cluster.Partition(w.Topics, 3)
+	for i, s := range sp.Shards {
+		if len(s.Plan.Topics) != len(parts[i]) {
+			t.Errorf("shard %d rows %d topics, partition has %d", i, len(s.Plan.Topics), len(parts[i]))
+		}
+	}
+}

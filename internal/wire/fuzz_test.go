@@ -23,6 +23,9 @@ func FuzzDecode(f *testing.F) {
 		{Type: TypeHello, Role: RoleBrokerPeer, Name: "peer"},
 		{Type: TypeSubscribe, Topics: []spec.TopicID{1, 2, 3}},
 		{Type: TypeTimeResp, Nonce: 1, T1: 2, T2: 3, T3: 4},
+		{Type: TypeRouteReq, Nonce: 7},
+		{Type: TypeRouteResp, Nonce: 7, Epoch: 2, Shards: []ShardEntry{{Primary: "p:1", Backup: "b:1"}, {Primary: "p:2"}}},
+		{Type: TypeWrongShard, Topic: 9, Epoch: 2},
 	}
 	for _, fr := range seeds {
 		buf, err := Encode(nil, fr)

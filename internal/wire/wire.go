@@ -55,8 +55,18 @@ const (
 	// TypeTimeResp answers a TypeTimeReq with the server's receive (T2) and
 	// transmit (T3) timestamps.
 	TypeTimeResp
+	// TypeRouteReq asks a routing-plane endpoint (the cluster directory, or
+	// any broker that holds the table) for the current cluster routing table.
+	TypeRouteReq
+	// TypeRouteResp answers a TypeRouteReq with the epoch-versioned shard
+	// table: one entry per shard, in shard-index order.
+	TypeRouteResp
+	// TypeWrongShard tells a publisher its frame named a topic this broker's
+	// shard does not own, carrying the broker's routing epoch so the client
+	// can detect a stale cached table and refresh (package cluster).
+	TypeWrongShard
 
-	maxType = TypeTimeResp
+	maxType = TypeWrongShard
 )
 
 // String returns a protocol-stable label for the type.
@@ -86,6 +96,12 @@ func (t Type) String() string {
 		return "TIME_REQ"
 	case TypeTimeResp:
 		return "TIME_RESP"
+	case TypeRouteReq:
+		return "ROUTE_REQ"
+	case TypeRouteResp:
+		return "ROUTE_RESP"
+	case TypeWrongShard:
+		return "WRONG_SHARD"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -113,6 +129,15 @@ func (r Role) String() string {
 	default:
 		return fmt.Sprintf("Role(%d)", uint8(r))
 	}
+}
+
+// ShardEntry is one shard's broker pair in a RouteResp table: the current
+// Primary address first, then the standby Backup (empty once the pair has
+// lost a member — after a promotion the promoted broker moves to Primary
+// and Backup empties until an operator replaces it).
+type ShardEntry struct {
+	Primary string
+	Backup  string
 }
 
 // Message is the payload-bearing unit: one sporadic sample of one topic.
@@ -161,6 +186,12 @@ type Frame struct {
 	// time (TimeReq and echoed in TimeResp); T2 and T3 are the server's
 	// receive and transmit times (TimeResp).
 	T1, T2, T3 time.Duration
+
+	// Epoch versions the cluster routing table (RouteResp), and reports the
+	// replying broker's view of it in a WrongShard redirect.
+	Epoch uint64
+	// Shards is the routing table of a RouteResp, in shard-index order.
+	Shards []ShardEntry
 }
 
 // Wire-format sanity limits. Frames larger than these are corrupt or
@@ -173,6 +204,10 @@ const (
 	MaxTopics = 1 << 20
 	// MaxName bounds a Hello name.
 	MaxName = 256
+	// MaxShards bounds a RouteResp shard table.
+	MaxShards = 1 << 16
+	// MaxAddr bounds one shard-entry address.
+	MaxAddr = 256
 )
 
 // Errors returned by Decode.
@@ -225,6 +260,27 @@ func Encode(dst []byte, f *Frame) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.T1))
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.T2))
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.T3))
+	case TypeRouteReq:
+		dst = binary.LittleEndian.AppendUint64(dst, f.Nonce)
+	case TypeRouteResp:
+		if len(f.Shards) > MaxShards {
+			return dst, fmt.Errorf("%w: %d shards", ErrTooLarge, len(f.Shards))
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, f.Nonce)
+		dst = binary.LittleEndian.AppendUint64(dst, f.Epoch)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Shards)))
+		for _, s := range f.Shards {
+			if len(s.Primary) > MaxAddr || len(s.Backup) > MaxAddr {
+				return dst, fmt.Errorf("%w: shard address", ErrTooLarge)
+			}
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s.Primary)))
+			dst = append(dst, s.Primary...)
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s.Backup)))
+			dst = append(dst, s.Backup...)
+		}
+	case TypeWrongShard:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Topic))
+		dst = binary.LittleEndian.AppendUint64(dst, f.Epoch)
 	}
 	return dst, nil
 }
@@ -284,6 +340,24 @@ func Decode(buf []byte) (*Frame, error) {
 		f.T1 = time.Duration(d.u64())
 		f.T2 = time.Duration(d.u64())
 		f.T3 = time.Duration(d.u64())
+	case TypeRouteReq:
+		f.Nonce = d.u64()
+	case TypeRouteResp:
+		f.Nonce = d.u64()
+		f.Epoch = d.u64()
+		n := d.u32()
+		if n > MaxShards {
+			return nil, fmt.Errorf("%w: %d shards", ErrTooLarge, n)
+		}
+		if d.err == nil {
+			f.Shards = make([]ShardEntry, 0, n)
+			for i := uint32(0); i < n && d.err == nil; i++ {
+				f.Shards = append(f.Shards, d.shardEntry())
+			}
+		}
+	case TypeWrongShard:
+		f.Topic = spec.TopicID(d.u32())
+		f.Epoch = d.u64()
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadType, t)
 	}
@@ -361,6 +435,25 @@ func (d *decoder) bytes(n int) []byte {
 	copy(out, d.buf[d.off:])
 	d.off += n
 	return out
+}
+
+// shardEntry decodes one RouteResp table entry, enforcing MaxAddr on both
+// addresses so a corrupt length cannot force a giant allocation.
+func (d *decoder) shardEntry() ShardEntry {
+	var e ShardEntry
+	n := int(d.u16())
+	if n > MaxAddr {
+		d.err = fmt.Errorf("%w: shard address %d bytes", ErrTooLarge, n)
+		return e
+	}
+	e.Primary = string(d.bytes(n))
+	n = int(d.u16())
+	if n > MaxAddr {
+		d.err = fmt.Errorf("%w: shard address %d bytes", ErrTooLarge, n)
+		return e
+	}
+	e.Backup = string(d.bytes(n))
+	return e
 }
 
 func (d *decoder) message(m *Message) {

@@ -40,6 +40,12 @@ func TestRoundTripAllTypes(t *testing.T) {
 		{Type: TypeSubscribe, Topics: []spec.TopicID{1, 2, 3, 100000}},
 		{Type: TypeTimeReq, Nonce: 5, T1: 100 * time.Millisecond},
 		{Type: TypeTimeResp, Nonce: 5, T1: 100 * time.Millisecond, T2: 101 * time.Millisecond, T3: 102 * time.Millisecond},
+		{Type: TypeRouteReq, Nonce: 77},
+		{Type: TypeRouteResp, Nonce: 77, Epoch: 3, Shards: []ShardEntry{
+			{Primary: "shard0-primary:7001", Backup: "shard0-backup:7002"},
+			{Primary: "shard1-primary:7003", Backup: ""}, // pair that lost its Backup
+		}},
+		{Type: TypeWrongShard, Topic: 42, Epoch: 3},
 	}
 	for _, f := range frames {
 		t.Run(f.Type.String(), func(t *testing.T) {
@@ -63,6 +69,10 @@ func TestRoundTripEmptyPayloadAndTopics(t *testing.T) {
 	got = roundTrip(t, &Frame{Type: TypeHello, Role: RoleBrokerPeer})
 	if got.Name != "" {
 		t.Errorf("name = %q, want empty", got.Name)
+	}
+	got = roundTrip(t, &Frame{Type: TypeRouteResp, Nonce: 1, Epoch: 2})
+	if len(got.Shards) != 0 {
+		t.Errorf("shards = %v, want empty", got.Shards)
 	}
 }
 
@@ -124,6 +134,32 @@ func TestDecodeRejectsOversizedDeclaredLengths(t *testing.T) {
 	buf = []byte{byte(TypeSubscribe), 0xFF, 0xFF, 0xFF, 0xFF}
 	if _, err := Decode(buf); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+	// A route response declaring more shards than MaxShards.
+	buf = []byte{byte(TypeRouteResp)}
+	buf = append(buf, make([]byte, 8+8)...)   // nonce, epoch
+	buf = append(buf, 0xFF, 0xFF, 0xFF, 0xFF) // count = 2^32-1
+	if _, err := Decode(buf); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+	// A shard entry declaring an address longer than MaxAddr.
+	buf = []byte{byte(TypeRouteResp)}
+	buf = append(buf, make([]byte, 8+8)...)   // nonce, epoch
+	buf = append(buf, 0x01, 0x00, 0x00, 0x00) // count = 1
+	buf = append(buf, 0xFF, 0xFF)             // primary length = 65535
+	if _, err := Decode(buf); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestEncodeRejectsOversizedShardTable(t *testing.T) {
+	f := &Frame{Type: TypeRouteResp, Shards: make([]ShardEntry, MaxShards+1)}
+	if _, err := Encode(nil, f); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("shard count: err = %v, want ErrTooLarge", err)
+	}
+	f = &Frame{Type: TypeRouteResp, Shards: []ShardEntry{{Primary: string(make([]byte, MaxAddr+1))}}}
+	if _, err := Encode(nil, f); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("address length: err = %v, want ErrTooLarge", err)
 	}
 }
 
@@ -210,6 +246,20 @@ func randomFrame(rng *rand.Rand) *Frame {
 		return &Frame{Type: TypeTimeReq, Nonce: rng.Uint64(), T1: time.Duration(rng.Int63())}
 	case TypeTimeResp:
 		return &Frame{Type: TypeTimeResp, Nonce: rng.Uint64(), T1: time.Duration(rng.Int63()), T2: time.Duration(rng.Int63()), T3: time.Duration(rng.Int63())}
+	case TypeRouteReq:
+		return &Frame{Type: TypeRouteReq, Nonce: rng.Uint64()}
+	case TypeRouteResp:
+		n := rng.Intn(8)
+		shards := make([]ShardEntry, 0, n)
+		for i := 0; i < n; i++ {
+			shards = append(shards, ShardEntry{
+				Primary: string(randBytes(rng, rng.Intn(24))),
+				Backup:  string(randBytes(rng, rng.Intn(24))),
+			})
+		}
+		return &Frame{Type: TypeRouteResp, Nonce: rng.Uint64(), Epoch: rng.Uint64(), Shards: shards}
+	case TypeWrongShard:
+		return &Frame{Type: TypeWrongShard, Topic: spec.TopicID(rng.Uint32()), Epoch: rng.Uint64()}
 	default:
 		n := rng.Intn(16)
 		topics := make([]spec.TopicID, 0, n)
@@ -255,6 +305,12 @@ func TestRoundTripProperty(t *testing.T) {
 		}
 		if len(orig.Topics) == 0 {
 			orig.Topics = nil
+		}
+		if len(got.Shards) == 0 {
+			got.Shards = nil
+		}
+		if len(orig.Shards) == 0 {
+			orig.Shards = nil
 		}
 		return reflect.DeepEqual(got, orig)
 	}

@@ -45,6 +45,7 @@ const (
 func DecodeInto(buf []byte, f *Frame, mode DecodeMode) error {
 	payload := f.Msg.Payload[:0]
 	topics := f.Topics[:0]
+	shards := f.Shards[:0]
 	*f = Frame{}
 	d := decoder{buf: buf}
 	t := d.u8()
@@ -89,6 +90,24 @@ func DecodeInto(buf []byte, f *Frame, mode DecodeMode) error {
 		f.T1 = time.Duration(d.u64())
 		f.T2 = time.Duration(d.u64())
 		f.T3 = time.Duration(d.u64())
+	case TypeRouteReq:
+		f.Nonce = d.u64()
+	case TypeRouteResp:
+		f.Nonce = d.u64()
+		f.Epoch = d.u64()
+		n := d.u32()
+		if n > MaxShards {
+			return fmt.Errorf("%w: %d shards", ErrTooLarge, n)
+		}
+		if d.err == nil {
+			for i := uint32(0); i < n && d.err == nil; i++ {
+				shards = append(shards, d.shardEntry())
+			}
+			f.Shards = shards
+		}
+	case TypeWrongShard:
+		f.Topic = spec.TopicID(d.u32())
+		f.Epoch = d.u64()
 	default:
 		return fmt.Errorf("%w: %d", ErrBadType, t)
 	}

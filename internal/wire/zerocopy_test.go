@@ -26,6 +26,8 @@ func dirtyFrame() *Frame {
 		Name:           "stale",
 		Topics:         append(make([]spec.TopicID, 0, 16), 5, 6, 7),
 		T1:             1, T2: 2, T3: 3,
+		Epoch:  44,
+		Shards: append(make([]ShardEntry, 0, 4), ShardEntry{Primary: "stale-p", Backup: "stale-b"}),
 	}
 }
 
@@ -67,6 +69,12 @@ func TestDecodeIntoEquivalenceAllTypes(t *testing.T) {
 		{Type: TypeSubscribe, Topics: []spec.TopicID{1, 2, 3, 100000}},
 		{Type: TypeTimeReq, Nonce: 5, T1: 100 * time.Millisecond},
 		{Type: TypeTimeResp, Nonce: 5, T1: 100 * time.Millisecond, T2: 101 * time.Millisecond, T3: 102 * time.Millisecond},
+		{Type: TypeRouteReq, Nonce: 77},
+		{Type: TypeRouteResp, Nonce: 77, Epoch: 3, Shards: []ShardEntry{
+			{Primary: "shard0-primary:7001", Backup: "shard0-backup:7002"},
+			{Primary: "shard1-primary:7003"},
+		}},
+		{Type: TypeWrongShard, Topic: 42, Epoch: 3},
 	}
 	for _, f := range frames {
 		for _, mode := range []DecodeMode{ModeCopy, ModeAlias} {
