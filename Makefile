@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race short cover cover-check bench bench-compare bench-json bench-regress repro fuzz chaos chaos-shard chaos-smoke shard-smoke shardscale fmt fmtcheck vet ci clean
+.PHONY: all build test race short cover cover-check bench bench-compare bench-json bench-regress repro fuzz chaos chaos-shard chaos-gateway chaos-smoke shard-smoke gateway-smoke gateway-churn shardscale fmt fmtcheck vet ci clean
 
 all: build vet fmtcheck test
 
 # Mirror of .github/workflows/ci.yml for local runs.
-ci: build vet fmtcheck test race chaos-smoke shard-smoke fuzz
+ci: build vet fmtcheck test race chaos-smoke shard-smoke gateway-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,7 @@ repro:
 fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzParseTopics -fuzztime 30s ./internal/spec/
+	$(GO) test -fuzz FuzzGatewayDecode -fuzztime 30s ./internal/gateway/
 
 # Scripted fault-injection scenarios over real TCP (internal/chaos).
 # chaos-smoke is the PR gate (Smoke subset, well under two minutes);
@@ -112,6 +113,24 @@ shard-smoke:
 # but still reports, below that).
 shardscale:
 	$(GO) run ./cmd/frame-bench -exp shardscale -shards 1,2,4 -min-speedup 2.5
+
+# Gateway-level scenarios: the connection plane terminating thin clients
+# in front of a broker pair (crash/restart mid-stream, wedged client).
+# chaos-gateway is the nightly -race form; gateway-smoke is the PR gate,
+# which also runs the gateway package's model-equivalence and churn-soak
+# tests under -race and a CI-sized connection-churn run with its
+# connects/s gate (the acceptance-scale run is `frame-bench -exp gateway`
+# bare: 10k clients, ≥500 connects/s).
+chaos-gateway:
+	$(GO) test -race -count=1 -v -run 'TestGatewayChaosScenarios|TestGatewayScenarioRegistry' ./internal/chaos/
+
+gateway-smoke:
+	$(GO) test -short -count=1 -run 'TestGateway' ./internal/chaos/
+	$(GO) test -race -count=1 ./internal/gateway/
+	$(MAKE) gateway-churn
+
+gateway-churn:
+	$(GO) run ./cmd/frame-bench -exp gateway -clients 2000 -churn 500 -measure 2s -min-churn 400
 
 chaos-smoke:
 	$(GO) test -short -count=1 ./internal/chaos/ ./internal/faultinject/

@@ -47,13 +47,16 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, shardscale, or all")
+		exp     = flag.String("exp", "all", "experiment: table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, shardscale, gateway, or all")
 		lanes   = flag.String("lanes", "", "lanescale: comma-separated lane counts to sweep (default 1,2,4,8)")
 		shards  = flag.String("shards", "", "shardscale: comma-separated shard counts to sweep (default 1,2,4)")
 		minSpd  = flag.Float64("min-speedup", 0, "shardscale: fail unless last/first throughput reaches this factor (skipped when CPUs < largest shard count)")
 		batch   = flag.Duration("batch", 0, "lanescale: write-batch window for the swept brokers (0 = off)")
 		subs    = flag.Int("subs", 0, "egress: healthy subscriber count (default 4)")
 		depth   = flag.Int("egress-depth", 0, "egress: per-subscriber outbound ring depth (default 256)")
+		clients = flag.Int("clients", 0, "gateway: sustained simulated client population (default 10000)")
+		churn   = flag.Int("churn", 0, "gateway: target connection churn in connects/s (default 600)")
+		minCh   = flag.Float64("min-churn", 0, "gateway: fail unless achieved churn reaches this many connects/s (default 500; negative disables)")
 		runs    = flag.Int("runs", 0, "repetitions per cell (default 5; paper used 10)")
 		measure = flag.Duration("measure", 0, "fault-free measurement window (default 4s; paper used 60s)")
 		crash   = flag.Duration("crash", 0, "crash-run window, crash at midpoint (default 8s)")
@@ -101,6 +104,14 @@ func run() error {
 		{"egress", func() (formatter, error) {
 			return experiments.RunEgress(cfg, experiments.EgressOptions{Subs: *subs, Depth: *depth})
 		}},
+		{"gateway", func() (formatter, error) {
+			return experiments.RunGatewayChurn(cfg, experiments.GatewayChurnOptions{
+				Clients:   *clients,
+				ChurnRate: *churn,
+				Window:    *measure,
+				MinChurn:  *minCh,
+			})
+		}},
 		{"shardscale", func() (formatter, error) {
 			sweep, err := parseCounts("shards", *shards)
 			if err != nil {
@@ -129,7 +140,7 @@ func run() error {
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown -exp %q (want table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, shardscale, all, or none)", *exp)
+		return fmt.Errorf("unknown -exp %q (want table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, shardscale, gateway, all, or none)", *exp)
 	}
 	if *scrape != "" {
 		if err := scrapeMetrics(*scrape, *csvDir); err != nil {

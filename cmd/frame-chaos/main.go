@@ -5,7 +5,11 @@
 // and promotion within the polling bound. Shard-level scenarios bring up
 // a full multi-pair cluster with its routing Directory and additionally
 // judge the promotion blast radius and the routing plane's outage
-// behavior.
+// behavior. Gateway-level scenarios bring up the connection plane — a
+// gateway terminating reconnecting thin clients in front of a broker
+// pair — and judge its isolation contract: client-side faults and
+// gateway crashes stay inside the thin clients' Li budgets and never
+// reach the brokers.
 //
 // Every fault decision is driven by the seed, so a failed run replays
 // exactly:
@@ -18,7 +22,8 @@
 //	frame-chaos                               # run everything
 //	frame-chaos -smoke                        # PR-gate subset only
 //	frame-chaos -shard                        # shard-level scenarios only
-//	frame-chaos -scenario shard-kill-pair     # one scenario (either kind)
+//	frame-chaos -gateway                      # gateway-level scenarios only
+//	frame-chaos -scenario shard-kill-pair     # one scenario (any kind)
 //	frame-chaos -artifacts out/               # transcripts for failures
 //
 // The seed defaults to FRAME_CHAOS_SEED when set, else a per-scenario
@@ -42,11 +47,11 @@ func main() {
 	}
 }
 
-// entry is one runnable scenario of either kind.
+// entry is one runnable scenario of any kind.
 type entry struct {
 	name, desc string
 	smoke      bool
-	shard      bool
+	kind       string // "pair", "shard", or "gw"
 	run        func(chaos.RunOptions) (*chaos.Result, error)
 }
 
@@ -55,15 +60,22 @@ func registry() []entry {
 	for _, sc := range chaos.All() {
 		sc := sc
 		out = append(out, entry{
-			name: sc.Name, desc: sc.Description, smoke: sc.Smoke,
+			name: sc.Name, desc: sc.Description, smoke: sc.Smoke, kind: "pair",
 			run: func(o chaos.RunOptions) (*chaos.Result, error) { return chaos.Run(sc, o) },
 		})
 	}
 	for _, sc := range chaos.ShardAll() {
 		sc := sc
 		out = append(out, entry{
-			name: sc.Name, desc: sc.Description, smoke: sc.Smoke, shard: true,
+			name: sc.Name, desc: sc.Description, smoke: sc.Smoke, kind: "shard",
 			run: func(o chaos.RunOptions) (*chaos.Result, error) { return chaos.RunShard(sc, o) },
+		})
+	}
+	for _, sc := range chaos.GatewayAll() {
+		sc := sc
+		out = append(out, entry{
+			name: sc.Name, desc: sc.Description, smoke: sc.Smoke, kind: "gw",
+			run: func(o chaos.RunOptions) (*chaos.Result, error) { return chaos.RunGateway(sc, o) },
 		})
 	}
 	return out
@@ -76,6 +88,7 @@ func run() error {
 		list      = flag.Bool("list", false, "list shipped scenarios and exit")
 		smoke     = flag.Bool("smoke", false, "run only the Smoke subset (the PR gate)")
 		shardOnly = flag.Bool("shard", false, "run only the shard-level scenarios")
+		gwOnly    = flag.Bool("gateway", false, "run only the gateway-level scenarios")
 		artifacts = flag.String("artifacts", "", "directory for failure transcripts")
 	)
 	flag.Parse()
@@ -87,11 +100,7 @@ func run() error {
 			if e.smoke {
 				gate = "*"
 			}
-			kind := "pair "
-			if e.shard {
-				kind = "shard"
-			}
-			fmt.Printf("%s %s %-24s %s\n", gate, kind, e.name, e.desc)
+			fmt.Printf("%s %-5s %-24s %s\n", gate, e.kind, e.name, e.desc)
 		}
 		fmt.Println("\n* = PR-gate smoke subset")
 		return nil
@@ -112,7 +121,10 @@ func run() error {
 			if *smoke && !e.smoke {
 				continue
 			}
-			if *shardOnly && !e.shard {
+			if *shardOnly && e.kind != "shard" {
+				continue
+			}
+			if *gwOnly && e.kind != "gw" {
 				continue
 			}
 			selected = append(selected, e)

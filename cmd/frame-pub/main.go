@@ -14,6 +14,14 @@
 // epoch-versioned table, and WrongShard redirects refresh it:
 //
 //	frame-pub -directory localhost:7400 -topics topics.txt
+//
+// Against a connection-plane gateway (cmd/frame-gateway), run as a thin
+// client: the gateway is the publisher's whole world — it answers the
+// detector's polls and the clock exchange locally and forwards each
+// publish to the owning broker pair, so failover is the gateway's
+// problem, not the phone's:
+//
+//	frame-pub -gateway localhost:7410 -topics topics.txt
 package main
 
 import (
@@ -52,6 +60,7 @@ func run() error {
 		primary    = flag.String("primary", "127.0.0.1:7401", "primary broker address")
 		backup     = flag.String("backup", "", "backup broker address (empty: no failover)")
 		directory  = flag.String("directory", "", "routing Directory address of a sharded cluster; overrides -primary/-backup")
+		gwAddr     = flag.String("gateway", "", "connection-plane gateway address; thin-client mode, overrides -primary/-backup and -directory")
 		topicsPath = flag.String("topics", "", "topic spec file (required)")
 		duration   = flag.Duration("duration", 60*time.Second, "how long to publish (0 = forever)")
 		name       = flag.String("name", "frame-pub", "publisher name")
@@ -75,7 +84,29 @@ func run() error {
 	network := frame.NewTCPNetwork(2 * time.Second)
 
 	var pub publisher
-	if *directory != "" {
+	if *gwAddr != "" {
+		// Thin-client mode: the gateway is the publisher's Primary. It
+		// answers polls and clock sync itself and forwards publishes to
+		// whichever broker owns each topic; no Backup address because
+		// broker failover is resolved behind the gateway.
+		clock, stopSync, err := syncedClock(network, *gwAddr)
+		if err != nil {
+			return err
+		}
+		defer stopSync()
+		fp, err := frame.NewPublisher(frame.PublisherOptions{
+			Name:        *name,
+			Topics:      topics,
+			PrimaryAddr: *gwAddr,
+			Network:     network,
+			Clock:       clock,
+			Logger:      logger,
+		})
+		if err != nil {
+			return err
+		}
+		pub = fp
+	} else if *directory != "" {
 		router, err := cluster.NewRouter(cluster.RouterOptions{
 			DirectoryAddr: *directory,
 			Network:       network,

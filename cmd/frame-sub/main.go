@@ -12,6 +12,12 @@
 // de-duplicates cluster-wide:
 //
 //	frame-sub -directory localhost:7400 -topics 0,1,2
+//
+// Against a connection-plane gateway (cmd/frame-gateway), run as a thin
+// client: one session to the gateway, automatic reconnect on a lost
+// session, no broker addresses needed:
+//
+//	frame-sub -gateway localhost:7410 -topics 0,1,2
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	frame "repro"
 	"repro/internal/clocksync"
 	"repro/internal/cluster"
+	"repro/internal/gateway"
 )
 
 // subscriber is the part of the API the report loop needs; satisfied by
@@ -51,6 +58,7 @@ func run() error {
 	var (
 		brokers   = flag.String("brokers", "127.0.0.1:7401,127.0.0.1:7402", "comma-separated broker addresses")
 		directory = flag.String("directory", "", "routing Directory address of a sharded cluster; overrides -brokers")
+		gwAddr    = flag.String("gateway", "", "connection-plane gateway address; thin-client mode, overrides -brokers and -directory")
 		topicArg  = flag.String("topics", "", "comma-separated topic ids (required)")
 		duration  = flag.Duration("duration", 60*time.Second, "how long to listen (0 = until interrupted)")
 		name      = flag.String("name", "frame-sub", "subscriber name")
@@ -73,7 +81,32 @@ func run() error {
 	network := frame.NewTCPNetwork(2 * time.Second)
 
 	var sub subscriber
-	if *directory != "" {
+	if *gwAddr != "" {
+		// The gateway answers the NTP-style exchange itself, so a thin
+		// client stays one hop from its timebase.
+		clock, stopSync, err := syncedClock(network, *gwAddr)
+		if err != nil {
+			return err
+		}
+		defer stopSync()
+		ts, err := gateway.NewThinSubscriber(gateway.ThinSubscriberOptions{
+			Name:        *name,
+			Topics:      topics,
+			GatewayAddr: *gwAddr,
+			Network:     network,
+			Clock:       clock,
+			Reconnect:   true,
+			Logger:      logger,
+		})
+		if err != nil {
+			return err
+		}
+		sub = ts
+		defer func() {
+			fmt.Printf("gateway reconnects: %d\n", ts.Reconnects())
+		}()
+		logger.Info("subscribed", "topics", len(topics), "gateway", *gwAddr)
+	} else if *directory != "" {
 		router, err := cluster.NewRouter(cluster.RouterOptions{
 			DirectoryAddr: *directory,
 			Network:       network,

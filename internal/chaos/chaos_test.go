@@ -88,6 +88,75 @@ func TestShardChaosScenarios(t *testing.T) {
 	}
 }
 
+// TestGatewayChaosScenarios runs every gateway-level scenario against the
+// three-plane topology (broker pair, gateway, thin clients) over the Mem
+// transport. All shipped gateway scenarios are Smoke (the `gateway smoke`
+// CI job runs this file under -short).
+func TestGatewayChaosScenarios(t *testing.T) {
+	artifacts := os.Getenv("FRAME_CHAOS_ARTIFACTS")
+	for _, sc := range chaos.GatewayAll() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if testing.Short() && !sc.Smoke {
+				t.Skip("not in the -short smoke subset")
+			}
+			seed := faultinject.SeedFromEnv(defaultSeed(sc.Name))
+			res, err := chaos.RunGateway(sc, chaos.RunOptions{Seed: seed, ArtifactsDir: artifacts})
+			if err != nil {
+				t.Fatalf("seed=%d setup: %v (replay: FRAME_CHAOS_SEED=%d)", seed, err, seed)
+			}
+			t.Logf("seed=%d published=%d delivered=%d dups=%d frames=%d publishErrs=%d elapsed=%v",
+				res.Seed, res.Published, res.Delivered, res.Duplicates, res.Frames, res.PublishErrs, res.Elapsed)
+			if !res.Passed() {
+				t.Logf("replay: FRAME_CHAOS_SEED=%d go test -count=1 -run 'TestGatewayChaosScenarios/%s' ./internal/chaos/",
+					res.Seed, sc.Name)
+				if res.ArtifactPath != "" {
+					t.Logf("artifact: %s", res.ArtifactPath)
+				}
+				for _, line := range res.Transcript.Tail(40) {
+					t.Log(line)
+				}
+				for _, f := range res.Failures {
+					t.Errorf("invariant violated: %s", f)
+				}
+			}
+		})
+	}
+}
+
+// TestGatewayScenarioRegistry guards the gateway registry the CI
+// gateway-smoke job depends on: unique names, resolvable by GatewayFind,
+// a non-empty smoke subset, and every scenario shipping thin clients.
+func TestGatewayScenarioRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	smoke := 0
+	all := chaos.GatewayAll()
+	if len(all) < 2 {
+		t.Fatalf("%d gateway scenarios shipped, want >= 2", len(all))
+	}
+	for _, sc := range all {
+		if seen[sc.Name] {
+			t.Errorf("duplicate gateway scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Smoke {
+			smoke++
+		}
+		if len(sc.Clients) == 0 {
+			t.Errorf("gateway scenario %q has no thin clients — not a connection-plane test", sc.Name)
+		}
+		if _, err := chaos.GatewayFind(sc.Name); err != nil {
+			t.Errorf("GatewayFind(%q): %v", sc.Name, err)
+		}
+	}
+	if smoke == 0 {
+		t.Error("no Smoke gateway scenarios — the gateway-smoke gate would run nothing")
+	}
+	if _, err := chaos.GatewayFind("no-such-scenario"); err == nil {
+		t.Error("GatewayFind accepted an unknown name")
+	}
+}
+
 // TestShardScenarioRegistry guards the shard registry the CI shard-smoke
 // job depends on: unique names, resolvable by ShardFind, and a non-empty
 // smoke subset.

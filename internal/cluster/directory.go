@@ -243,8 +243,15 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		opts.Logger = slog.Default()
 	}
 	r := &Router{opts: opts, log: opts.Logger.With("component", "cluster-router")}
-	if _, err := r.Refresh(); err != nil {
+	t, err := r.Refresh()
+	if err != nil {
 		return nil, err
+	}
+	// A real Directory never serves an empty table (its constructor and
+	// SetShards both refuse one), so an empty first fetch means the address
+	// points at something that is not a healthy routing plane.
+	if len(t.Shards) == 0 {
+		return nil, errors.New("cluster: directory served an empty routing table")
 	}
 	return r, nil
 }
@@ -282,7 +289,9 @@ func (r *Router) NoteEpoch(e uint64) error {
 // Refresh fetches the table and installs it if newer than the cache,
 // returning the (possibly unchanged) cached table. A fetch error leaves
 // the cache intact — stale routes beat no routes while the plane is
-// partitioned.
+// partitioned — and so does a table with no shards: an empty table routes
+// nothing, so installing one would erase working routes for the same
+// reason Publisher.rehome refuses to act on it.
 func (r *Router) Refresh() (Table, error) {
 	r.fetchMu.Lock()
 	defer r.fetchMu.Unlock()
@@ -292,7 +301,11 @@ func (r *Router) Refresh() (Table, error) {
 	}
 	r.mu.Lock()
 	if t.Epoch > r.table.Epoch {
-		r.table = t
+		if len(t.Shards) == 0 {
+			r.log.Warn("refusing empty routing table", "epoch", t.Epoch)
+		} else {
+			r.table = t
+		}
 	}
 	out := r.table.clone()
 	r.mu.Unlock()

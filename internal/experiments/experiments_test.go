@@ -279,6 +279,35 @@ func TestProgressCallbackInvoked(t *testing.T) {
 	}
 }
 
+func TestRunGatewayChurnSmallWorkload(t *testing.T) {
+	res, err := RunGatewayChurn(Config{}, GatewayChurnOptions{
+		Clients:   200,
+		ChurnRate: 200,
+		Topics:    8,
+		Window:    500 * time.Millisecond,
+		Probes:    2,
+		MinChurn:  -1, // a loaded CI runner may under-churn; the full gate runs in frame-bench
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sustained < 200 {
+		t.Errorf("sustained %d clients, want the full population of 200", res.Sustained)
+	}
+	if res.Connects == 0 {
+		t.Error("churn loop never replaced a client")
+	}
+	if res.Delivered != res.Published {
+		t.Errorf("probes saw %d of %d messages under churn", res.Delivered, res.Published)
+	}
+	if res.Evictions != 0 {
+		t.Errorf("%d draining clients were evicted", res.Evictions)
+	}
+	if res.P99 == 0 {
+		t.Error("no latency samples collected")
+	}
+}
+
 func TestRunEgressSmallWorkload(t *testing.T) {
 	res, err := RunEgress(Config{}, EgressOptions{
 		Subs:     2,
