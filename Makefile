@@ -70,15 +70,21 @@ bench-json:
 		} \
 		END { print "\n]" }' egress.bench > BENCH_EGRESS.json
 	@echo "wrote BENCH_EGRESS.json"
+	$(GO) run ./cmd/frame-bench -exp opoints -quiet -opoints-msgs 1024 -bench-json BENCH_OPOINTS.json
 
 # Fail if a fresh bench-json run regresses >BENCH_REGRESS_MAX% in ns/op
 # against the committed BENCH_EGRESS.json (or allocates where the
 # baseline did not). The CI bench-baseline job runs this on every PR.
+# The opoints grid measures a live broker end to end, so its budget is
+# far looser: single-run cells on a loaded box swing ±30-40%.
 BENCH_REGRESS_MAX ?= 10
+OPOINTS_REGRESS_MAX ?= 50
 bench-regress:
 	cp BENCH_EGRESS.json bench_baseline.json
+	cp BENCH_OPOINTS.json opoints_baseline.json
 	$(MAKE) bench-json
 	$(GO) run ./cmd/frame-benchdiff -base bench_baseline.json -new BENCH_EGRESS.json -max-regress $(BENCH_REGRESS_MAX)
+	$(GO) run ./cmd/frame-benchdiff -base opoints_baseline.json -new BENCH_OPOINTS.json -max-regress $(OPOINTS_REGRESS_MAX)
 
 # Same via the CLI harness, with CSV artifacts.
 repro:
@@ -147,4 +153,4 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -rf artifacts test_output.txt bench_output.txt coverage.out dispatch_lanes.bench egress.bench
+	rm -rf artifacts test_output.txt bench_output.txt coverage.out dispatch_lanes.bench egress.bench bench_baseline.json opoints_baseline.json

@@ -529,26 +529,29 @@ func (c *blockingConn) SetWriteDeadline(time.Time) error { return nil }
 
 // benchmarkFanoutAsync is the asynchronous counterpart of benchmarkFanout:
 // the dispatch loop encodes once into a pooled FrameBuf and enqueues a
-// retained reference onto each subscriber's egress ring; per-subscriber
-// writer goroutines drain the rings with vectored writes. This is exactly
-// what broker.dispatch does per Work item, so the measured cost is the EDF
-// lane's per-message share. Acceptance: 0 allocs/op steady state, and
-// ns/op at 64 subscribers no worse than the synchronous BenchmarkFanout64.
+// retained reference onto each subscriber's egress ring; a shared flusher
+// pool (the broker's default egress mode) drains the rings with vectored
+// writes. This is exactly what broker.dispatch does per Work item, so the
+// measured cost is the EDF lane's per-message share. Acceptance: 0
+// allocs/op and 0 B/op steady state, and ns/op at 64 subscribers no worse
+// than the synchronous BenchmarkFanout64.
 func benchmarkFanoutAsync(b *testing.B, subs int, stalled bool) {
 	sink := &discardConn{}
 	gate := make(chan struct{})
 	defer close(gate)
+	pool := transport.NewFlusherPool(transport.FlusherPoolConfig{})
 	egs := make([]*transport.Egress, 0, subs+1)
 	var meter transport.EgressMeter
 	for i := 0; i < subs; i++ {
 		egs = append(egs, transport.NewEgress(transport.NewConn(sink),
-			transport.EgressConfig{Depth: 4096, Shed: true, Meter: &meter}))
+			transport.EgressConfig{Depth: 4096, Shed: true, Meter: &meter, Pool: pool}))
 	}
 	if stalled {
 		// One ring wedged behind a socket that never completes a write: it
-		// must absorb and shed without slowing the loop below.
+		// must absorb, shed, and eventually escalate its flusher without
+		// slowing the loop below.
 		egs = append(egs, transport.NewEgress(transport.NewConn(newBlockingConn(gate)),
-			transport.EgressConfig{Depth: 64, Shed: true, Meter: &meter}))
+			transport.EgressConfig{Depth: 64, Shed: true, Meter: &meter, Pool: pool}))
 	}
 	m := wire.Message{Topic: 7, Seq: 0, Created: time.Millisecond, Payload: make([]byte, 16)}
 	b.ReportAllocs()
@@ -557,8 +560,8 @@ func benchmarkFanoutAsync(b *testing.B, subs int, stalled bool) {
 		m.Seq++
 		fb := transport.GetFrameBuf()
 		fb.B = wire.AppendDispatchBody(fb.B[:0], &m, time.Duration(i))
+		fb.RetainN(len(egs))
 		for _, eg := range egs {
-			fb.Retain()
 			eg.Enqueue(fb, 7, spec.LossUnbounded)
 		}
 		fb.Release()
@@ -571,6 +574,7 @@ func benchmarkFanoutAsync(b *testing.B, subs int, stalled bool) {
 	for _, eg := range egs {
 		eg.Wait()
 	}
+	pool.Close()
 	if meter.Enqueued.Load() == 0 {
 		b.Fatal("async fan-out enqueued nothing")
 	}
@@ -631,8 +635,8 @@ func fanoutP99(egs []*transport.Egress, rounds int) time.Duration {
 		start := time.Now()
 		fb := transport.GetFrameBuf()
 		fb.B = wire.AppendDispatchBody(fb.B[:0], &m, 0)
+		fb.RetainN(len(egs))
 		for _, eg := range egs {
-			fb.Retain()
 			eg.Enqueue(fb, 7, spec.LossUnbounded)
 		}
 		fb.Release()

@@ -47,7 +47,7 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, shardscale, gateway, or all")
+		exp     = flag.String("exp", "all", "experiment: table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, shardscale, gateway, opoints, or all")
 		lanes   = flag.String("lanes", "", "lanescale: comma-separated lane counts to sweep (default 1,2,4,8)")
 		shards  = flag.String("shards", "", "shardscale: comma-separated shard counts to sweep (default 1,2,4)")
 		minSpd  = flag.Float64("min-speedup", 0, "shardscale: fail unless last/first throughput reaches this factor (skipped when CPUs < largest shard count)")
@@ -64,6 +64,10 @@ func run() error {
 		quiet   = flag.Bool("quiet", false, "suppress per-run progress")
 		csvDir  = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 		scrape  = flag.String("scrape", "", "scrape a live broker's /metrics (host:port or URL) into the CSV artifacts")
+		paylds  = flag.String("payloads", "", "opoints: comma-separated payload sizes in bytes (default 64,1024,65536)")
+		fanouts = flag.String("fanouts", "", "opoints: comma-separated subscriber fan-outs (default 1,8,64)")
+		opMsgs  = flag.Int("opoints-msgs", 0, "opoints: messages per cell before the byte budget clamps (default 256)")
+		benchJS = flag.String("bench-json", "", "opoints: also write the grid as BenchRow JSON to this path (benchdiff-comparable)")
 	)
 	flag.Parse()
 
@@ -86,24 +90,27 @@ func run() error {
 	type experiment struct {
 		name string
 		run  func() (formatter, error)
+		// explicitOnly experiments are bench-governance rigs, not paper
+		// reproductions, and are skipped by -exp all.
+		explicitOnly bool
 	}
 	table := []experiment{
-		{"table4", func() (formatter, error) { return experiments.RunTable4(cfg) }},
-		{"table5", func() (formatter, error) { return experiments.RunTable5(cfg) }},
-		{"fig7", func() (formatter, error) { return experiments.RunFig7(cfg) }},
-		{"fig8", func() (formatter, error) { return experiments.RunFig8(cfg) }},
-		{"fig9", func() (formatter, error) { return experiments.RunFig9(cfg) }},
-		{"multiedge", func() (formatter, error) { return experiments.RunMultiEdge(cfg) }},
+		{"table4", func() (formatter, error) { return experiments.RunTable4(cfg) }, false},
+		{"table5", func() (formatter, error) { return experiments.RunTable5(cfg) }, false},
+		{"fig7", func() (formatter, error) { return experiments.RunFig7(cfg) }, false},
+		{"fig8", func() (formatter, error) { return experiments.RunFig8(cfg) }, false},
+		{"fig9", func() (formatter, error) { return experiments.RunFig9(cfg) }, false},
+		{"multiedge", func() (formatter, error) { return experiments.RunMultiEdge(cfg) }, false},
 		{"lanescale", func() (formatter, error) {
 			sweep, err := parseLanes(*lanes)
 			if err != nil {
 				return nil, err
 			}
 			return experiments.RunLaneScale(cfg, experiments.LaneScaleOptions{Lanes: sweep, Batch: *batch})
-		}},
+		}, false},
 		{"egress", func() (formatter, error) {
 			return experiments.RunEgress(cfg, experiments.EgressOptions{Subs: *subs, Depth: *depth})
-		}},
+		}, false},
 		{"gateway", func() (formatter, error) {
 			return experiments.RunGatewayChurn(cfg, experiments.GatewayChurnOptions{
 				Clients:   *clients,
@@ -111,19 +118,46 @@ func run() error {
 				Window:    *measure,
 				MinChurn:  *minCh,
 			})
-		}},
+		}, false},
 		{"shardscale", func() (formatter, error) {
 			sweep, err := parseCounts("shards", *shards)
 			if err != nil {
 				return nil, err
 			}
 			return experiments.RunShardScale(cfg, experiments.ShardScaleOptions{Shards: sweep, MinSpeedup: *minSpd})
-		}},
+		}, false},
+		{"opoints", func() (formatter, error) {
+			pay, err := parseCounts("payloads", *paylds)
+			if err != nil {
+				return nil, err
+			}
+			fan, err := parseCounts("fanouts", *fanouts)
+			if err != nil {
+				return nil, err
+			}
+			res, err := experiments.RunOpoints(cfg, experiments.OpointsOptions{
+				Payloads: pay,
+				Fanouts:  fan,
+				Messages: *opMsgs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if *benchJS != "" {
+				if err := writeBenchJSON(*benchJS, res); err != nil {
+					return nil, err
+				}
+			}
+			return res, nil
+		}, true},
 	}
 
 	matched := *exp == "none" // -exp none: scrape-only invocation
 	for _, e := range table {
 		if *exp == "none" || (*exp != "all" && *exp != e.name) {
+			continue
+		}
+		if *exp == "all" && e.explicitOnly {
 			continue
 		}
 		matched = true
@@ -140,7 +174,7 @@ func run() error {
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown -exp %q (want table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, shardscale, gateway, all, or none)", *exp)
+		return fmt.Errorf("unknown -exp %q (want table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, shardscale, gateway, opoints, all, or none)", *exp)
 	}
 	if *scrape != "" {
 		if err := scrapeMetrics(*scrape, *csvDir); err != nil {
@@ -225,6 +259,29 @@ func scrapeMetrics(target, dir string) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// writeBenchJSON stores the opoints grid as BenchRow JSON at path, creating
+// parent directories as needed.
+func writeBenchJSON(path string, res *experiments.OpointsResult) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteBenchJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }
 
 // writeCSV stores one experiment's data under dir/<name>.csv.

@@ -54,6 +54,9 @@ func run() error {
 		egressShed  = flag.Bool("egress-shed", true, "on a full egress ring, shed oldest frames within each topic's loss tolerance Li and evict the subscriber past it; false blocks the dispatcher instead (backpressure)")
 		egressStall = flag.Duration("egress-stall", 0, "fail an egress flush write making no progress for this long and drop the subscriber (0 = unbounded; the ring + shed policy already isolate the lanes)")
 		peerStall   = flag.Duration("peer-write-timeout", 0, "fail a replication-link write making no progress for this long so a wedged Backup can't block Replicator workers (0 = default 2s, negative = unbounded)")
+		intakeDepth = flag.Int("intake-depth", 0, "per-lane lock-free publish intake ring capacity in messages; publisher sessions push without the lane lock and workers drain in batches (0 = default 1024, negative = locked intake, the pre-intake behavior)")
+		flushers    = flag.Int("flushers", 0, "shared egress flusher goroutines sweeping all subscriber rings (0 = default 4, negative = one writer goroutine per subscriber)")
+		busyPoll    = flag.Bool("busy-poll", false, "spin idle lane workers and egress flushers briefly before parking: lower wakeup latency, higher idle CPU")
 	)
 	flag.Parse()
 
@@ -119,6 +122,9 @@ func run() error {
 		EgressNoShed:       !*egressShed,
 		EgressWriteTimeout: *egressStall,
 		PeerWriteTimeout:   *peerStall,
+		IntakeDepth:        *intakeDepth,
+		Flushers:           *flushers,
+		BusyPoll:           *busyPoll,
 	}
 	if *egressDepth == 0 {
 		opts.EgressDepth = -1 // flag 0 = disabled; the Options sentinel is negative

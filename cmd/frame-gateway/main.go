@@ -55,6 +55,8 @@ func run() error {
 		name       = flag.String("name", "frame-gateway", "gateway name in upstream Hello frames")
 		depth      = flag.Int("depth", 0, "per-client egress ring capacity in frames (0 = default 64)")
 		stall      = flag.Duration("client-write-timeout", 2*time.Second, "fail a client flush write making no progress for this long and drop the session (0 = unbounded)")
+		flushers   = flag.Int("flushers", 0, "shared flusher goroutines sweeping all client rings (0 = default 4, negative = one writer goroutine per subscribed client)")
+		busyPoll   = flag.Bool("busy-poll", false, "spin idle flushers briefly before parking: lower client wakeup latency, higher idle CPU")
 		adminAddr  = flag.String("admin-addr", "", "bind an HTTP admin endpoint here serving /metrics, /healthz, and /debug/pprof (empty = disabled)")
 		duration   = flag.Duration("duration", 0, "how long to serve (0 = until interrupted)")
 	)
@@ -85,6 +87,8 @@ func run() error {
 		Name:               *name,
 		ClientDepth:        *depth,
 		ClientWriteTimeout: *stall,
+		Flushers:           *flushers,
+		BusyPoll:           *busyPoll,
 		AdminAddr:          *adminAddr,
 		Logger:             logger,
 	}

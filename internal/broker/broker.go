@@ -160,6 +160,23 @@ type Options struct {
 	// publisher its cached routing table is stale — instead of being
 	// dropped as a configuration error. Must be safe for concurrent use.
 	ShardEpoch func() uint64
+	// IntakeDepth sizes each lane's lock-free publish intake ring (messages).
+	// Publisher sessions validate the topic, stamp arrival, and push into the
+	// ring without taking the lane lock; lane workers drain the ring into the
+	// engine under the lock they already hold. Zero means DefaultIntakeDepth;
+	// negative disables the intake and restores the locked publish path
+	// (session goroutines call the engine under the lane mutex directly).
+	IntakeDepth int
+	// Flushers sizes the shared egress flusher pool: subscriber rings are
+	// assigned round-robin to this many writer goroutines, each sweeping
+	// every ready ring per wakeup. Zero means transport.DefaultFlushers;
+	// negative restores one writer goroutine per subscriber. Ignored when
+	// EgressDepth is negative.
+	Flushers int
+	// BusyPoll keeps idle lane workers and egress flushers spinning briefly
+	// before parking, trading CPU for wakeup latency on latency-critical
+	// deployments (-busy-poll).
+	BusyPoll bool
 }
 
 // DefaultPeerWriteTimeout is the replication-link write-stall bound when
@@ -167,6 +184,26 @@ type Options struct {
 // pressure (two orders above Lemma 1's ΔBB scale) but finite, so a wedged
 // Backup surfaces as a dead link instead of a hung worker pool.
 const DefaultPeerWriteTimeout = 2 * time.Second
+
+// DefaultIntakeDepth is the per-lane publish intake ring size when
+// Options.IntakeDepth is zero: deep enough that workers drain in large
+// batches under load, small enough that a stalled lane applies backpressure
+// to its publishers instead of buffering unboundedly.
+const DefaultIntakeDepth = 1024
+
+// intakeDrainBatch bounds how many intake messages a worker folds into the
+// engine per lock acquisition, so one publish burst cannot starve the
+// dispatch side of the same lane lock.
+const intakeDrainBatch = 256
+
+// intakeKeepCap caps the payload storage an intake slot keeps across laps —
+// the same discipline as the engine's ring slots: one jumbo payload must
+// not pin a jumbo buffer forever.
+const intakeKeepCap = 4 << 10
+
+// workerSpins is the lane worker busy-poll probe budget before parking
+// (Options.BusyPoll).
+const workerSpins = 4096
 
 // Broker runs one FRAME broker.
 type Broker struct {
@@ -195,6 +232,11 @@ type Broker struct {
 	stopping atomic.Bool
 
 	lanes []*dispatchLane
+
+	// pool is the shared egress flusher set subscriber rings drain through;
+	// nil when Options.Flushers is negative (per-subscriber writers) or the
+	// egress path is off.
+	pool *transport.FlusherPool
 
 	subsMu     sync.Mutex
 	subs       map[spec.TopicID][]*subscriber
@@ -230,6 +272,9 @@ type subscriber struct {
 // egress rings.
 func (b *Broker) egressOn() bool { return b.opts.EgressDepth >= 0 }
 
+// intakeOn reports whether publishes go through the lock-free lane intake.
+func (b *Broker) intakeOn() bool { return b.opts.IntakeDepth >= 0 }
+
 // peerWriteStall resolves Options.PeerWriteTimeout.
 func (b *Broker) peerWriteStall() time.Duration {
 	switch {
@@ -244,15 +289,35 @@ func (b *Broker) peerWriteStall() time.Duration {
 
 // dispatchLane is one shard of the delivery path: its mutex guards the
 // lane's segment of the job queue and the ring-buffer state of every topic
-// hashing to it, its condition variable wakes the lane's workers, and its
-// meters feed the per-lane observability gauges.
+// hashing to it, its intake ring carries publishes from session goroutines
+// to the lane's workers without that mutex, its parker wakes those workers,
+// and its meters feed the per-lane observability gauges.
 type dispatchLane struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
+	// parker sleeps the lane's idle workers; publishers unpark after making
+	// work visible (an intake push or, on the legacy path, an engine push).
+	parker *queue.Parker
+	// intake is the lock-free publish handoff (nil when Options.IntakeDepth
+	// is negative): producers fill slots concurrently, workers drain under
+	// mu via drainIntakeLocked.
+	intake *queue.MPSC[intakeMsg]
+	// intakeStalls counts publishes that found the intake ring full and had
+	// to spin — sustained growth means the lane's workers are the bottleneck.
+	intakeStalls atomic.Uint64
 	// wait records enqueue→pop queue wait for jobs popped from this lane;
 	// pops counts them. Both are scrape-safe atomics.
 	wait *obsv.Histogram
 	pops atomic.Uint64
+}
+
+// intakeMsg is one publish in flight between a session goroutine and its
+// lane worker. payload is the slot-owned copy of the wire payload (which
+// aliases the session's receive buffer and dies at the next read); it is
+// recycled across ring laps like the engine's own buffer slots.
+type intakeMsg struct {
+	msg     wire.Message // msg.Payload points into payload
+	payload []byte
+	now     time.Duration // arrival stamp, taken before the push
 }
 
 // lane returns the dispatch lane owning the topic's state.
@@ -359,9 +424,15 @@ func New(opts Options) (*Broker, error) {
 		subsByConn: make(map[*transport.Conn]*subscriber),
 	}
 	b.lanes = make([]*dispatchLane, engine.Lanes())
+	intakeDepth := opts.IntakeDepth
+	if intakeDepth == 0 {
+		intakeDepth = DefaultIntakeDepth
+	}
 	for i := range b.lanes {
-		l := &dispatchLane{wait: obsv.NewHistogram()}
-		l.cond = sync.NewCond(&l.mu)
+		l := &dispatchLane{wait: obsv.NewHistogram(), parker: queue.NewParker()}
+		if intakeDepth > 0 {
+			l.intake = queue.NewMPSC[intakeMsg](intakeDepth)
+		}
 		b.lanes[i] = l
 	}
 	if opts.AdminAddr != "" {
@@ -396,6 +467,12 @@ func New(opts Options) (*Broker, error) {
 		if reloaded > 0 {
 			b.log.Info("reloaded persisted replicas", "count", reloaded)
 		}
+	}
+	if b.egressOn() && opts.Flushers >= 0 {
+		b.pool = transport.NewFlusherPool(transport.FlusherPoolConfig{
+			Flushers: opts.Flushers,
+			BusyPoll: opts.BusyPoll,
+		})
 	}
 	return b, nil
 }
@@ -527,6 +604,14 @@ func (b *Broker) scrapeGauges() []obsv.Sample {
 		obsv.Sample{Name: "frame_peer_write_stalls_total", Counter: true,
 			Value: float64(b.peerStalls.Load()), Help: "Replication writes failed by the peer write-stall bound."},
 	)
+	if b.pool != nil {
+		samples = append(samples,
+			obsv.Sample{Name: "frame_egress_flushers", Value: float64(b.pool.Size()),
+				Help: "Shared egress flusher goroutines (0 when per-subscriber writers are in use)."},
+			obsv.Sample{Name: "frame_egress_escalations_total", Counter: true,
+				Value: float64(b.pool.Escalations()), Help: "Replacement flushers spawned to route around wedged subscriber writes."},
+		)
+	}
 	for i, l := range b.lanes {
 		label := fmt.Sprintf("lane=%q", fmt.Sprint(i))
 		samples = append(samples,
@@ -537,6 +622,14 @@ func (b *Broker) scrapeGauges() []obsv.Sample {
 			obsv.Sample{Name: "frame_lane_queue_wait_p99_seconds", Label: label,
 				Value: l.wait.Quantile(0.99).Seconds(), Help: "p99 enqueue-to-pop wait, by dispatch lane."},
 		)
+		if l.intake != nil {
+			samples = append(samples,
+				obsv.Sample{Name: "frame_lane_intake_depth", Label: label,
+					Value: float64(l.intake.Len()), Help: "Publishes queued in the lock-free lane intake, by dispatch lane."},
+				obsv.Sample{Name: "frame_lane_intake_stalls_total", Label: label, Counter: true,
+					Value: float64(l.intakeStalls.Load()), Help: "Publishes that found the lane intake ring full, by dispatch lane."},
+			)
+		}
 	}
 	if b.opts.ExtraGauges != nil {
 		samples = append(samples, b.opts.ExtraGauges()...)
@@ -639,11 +732,9 @@ func (b *Broker) Stop() {
 	}
 	b.stopping.Store(true)
 	for _, l := range b.lanes {
-		// Broadcast under the lane lock so a worker between its stopping
-		// check and cond.Wait cannot miss the wakeup.
-		l.mu.Lock()
-		l.cond.Broadcast()
-		l.mu.Unlock()
+		// Workers park with a ready() that re-checks stopping under the
+		// parker's own mutex, so this wakeup cannot be missed.
+		l.parker.Unpark()
 	}
 	b.ln.Close()
 	if b.admin != nil {
@@ -657,6 +748,12 @@ func (b *Broker) Stop() {
 	}
 	b.peerMu.Unlock()
 	b.closeSubscribers()
+	if b.pool != nil {
+		// Every registered egress was closed and waited above (addSubscriber
+		// refuses registrations once stopping is set), so the pool drains
+		// clean.
+		b.pool.Close()
+	}
 	b.wg.Wait()
 	b.diskMu.Lock()
 	if b.disk != nil {
@@ -795,26 +892,90 @@ func (b *Broker) handleFrame(conn *transport.Conn, f *wire.Frame) error {
 
 // onPublish is the Message Proxy path: store, generate jobs, wake the
 // topic's lane.
+//
+// With the intake on (the default), the session goroutine never takes the
+// lane lock: it validates the topic lock-free (keeping the unknown-topic /
+// WrongShard answer synchronous), stamps arrival, pushes into the lane's
+// MPSC ring — copying the payload into slot-owned storage, since the wire
+// payload aliases the session's receive buffer — and unparks the lane's
+// workers, which fold the ring into the engine under the lock they already
+// hold. The engine therefore observes the publish (Stats().Published, queue
+// depth) slightly after onPublish returns.
 func (b *Broker) onPublish(m wire.Message) error {
 	now := b.opts.Clock()
 	lane := b.lane(m.Topic)
-	lane.mu.Lock()
-	err := b.engine.OnPublish(m, now)
-	if err == nil {
-		// One publish enqueues up to two jobs (dispatch + replicate), so
-		// wake every worker of the lane, not just one.
-		lane.cond.Broadcast()
+	if lane.intake == nil {
+		// Legacy locked intake (Options.IntakeDepth < 0).
+		lane.mu.Lock()
+		err := b.engine.OnPublish(m, now)
+		lane.mu.Unlock()
+		if err != nil {
+			b.obs.PublishRejected.Inc()
+			return err
+		}
+		lane.parker.Unpark()
+		b.obs.Publishes.Inc()
+		b.obs.StageProxy.Observe(b.opts.Clock() - now)
+		b.obs.Trace(obsv.TraceEvent{Stage: obsv.StagePublish, Topic: uint64(m.Topic), Seq: m.Seq, At: now})
+		b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageEnqueue, Topic: uint64(m.Topic), Seq: m.Seq, At: now})
+		return nil
 	}
-	lane.mu.Unlock()
-	if err != nil {
+	if err := b.engine.CheckTopic(m.Topic); err != nil {
+		// Same synchronous answer the locked path gave, so WrongShard
+		// redirects still happen on the session goroutine. With the topic
+		// validated here, the drain-side OnPublish cannot fail.
 		b.obs.PublishRejected.Inc()
 		return err
 	}
+	fill := func(im *intakeMsg) {
+		buf := im.payload
+		if cap(buf) > intakeKeepCap && len(m.Payload) <= intakeKeepCap {
+			buf = nil // drop a jumbo buffer a past lap pinned to this slot
+		}
+		im.payload = append(buf[:0], m.Payload...)
+		im.msg = m
+		im.msg.Payload = im.payload
+		im.now = now
+	}
+	if !lane.intake.PushInPlace(fill) {
+		// Ring full: the lane's workers are saturated. Spin rather than
+		// shed — loss policy lives at the egress, a publisher here just
+		// feels backpressure like the lock queue used to provide.
+		lane.intakeStalls.Add(1)
+		for !lane.intake.PushInPlace(fill) {
+			if b.stopping.Load() {
+				return nil // shutting down; the message has nowhere to go
+			}
+			lane.parker.Unpark()
+			runtime.Gosched()
+		}
+	}
+	lane.parker.Unpark()
 	b.obs.Publishes.Inc()
 	b.obs.StageProxy.Observe(b.opts.Clock() - now)
 	b.obs.Trace(obsv.TraceEvent{Stage: obsv.StagePublish, Topic: uint64(m.Topic), Seq: m.Seq, At: now})
 	b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageEnqueue, Topic: uint64(m.Topic), Seq: m.Seq, At: now})
 	return nil
+}
+
+// drainIntakeLocked folds queued publishes into the engine. Caller holds
+// the lane mutex — which also serializes it with every other consumer of
+// the lane's intake ring, satisfying the MPSC single-consumer contract.
+// The batch bound keeps one publish burst from monopolizing the lock.
+func (b *Broker) drainIntakeLocked(lane *dispatchLane) {
+	for i := 0; i < intakeDrainBatch; i++ {
+		popped := lane.intake.PopInto(func(im *intakeMsg) {
+			// Cannot fail: the topic was validated at push time and the
+			// engine copies the payload out of the slot before returning.
+			if err := b.engine.OnPublish(im.msg, im.now); err != nil {
+				b.obs.PublishRejected.Inc()
+				b.log.Warn("intake publish rejected", "topic", im.msg.Topic, "err", err)
+			}
+		})
+		if !popped {
+			return
+		}
+	}
 }
 
 // onReplica stores a replica in the Backup Buffer (Backup role), and in
@@ -840,6 +1001,13 @@ func (b *Broker) onReplica(f *wire.Frame) error {
 func (b *Broker) addSubscriber(conn *transport.Conn, topics []spec.TopicID) {
 	b.subsMu.Lock()
 	defer b.subsMu.Unlock()
+	if b.stopping.Load() {
+		// Checked under subsMu: either Stop's sweep has not snapshotted yet
+		// (then this registration would be missed by it) or it has (then a
+		// new egress would land on an already-drained flusher pool). Refuse
+		// both; the session is torn down with the listener anyway.
+		return
+	}
 	s := b.subsByConn[conn]
 	if s == nil {
 		s = &subscriber{conn: conn}
@@ -849,6 +1017,7 @@ func (b *Broker) addSubscriber(conn *transport.Conn, topics []spec.TopicID) {
 				Shed:  !b.opts.EgressNoShed,
 				Stall: b.opts.EgressWriteTimeout,
 				Meter: &b.egress,
+				Pool:  b.pool,
 			})
 		}
 		b.subsByConn[conn] = s
@@ -906,6 +1075,17 @@ type workerScratch struct {
 // GOMAXPROCS cores without contending.
 func (b *Broker) workerLoop(laneIdx int) {
 	lane := b.lanes[laneIdx]
+	qm := b.engine.QueueMeter()
+	// ready gates parking: work exists when the engine's lane has jobs or
+	// the intake holds publishes that would create them. Both probes are
+	// atomic reads, safe without the lane lock even while a sibling worker
+	// is draining.
+	ready := func() bool {
+		if b.stopping.Load() || qm.LaneDepth(laneIdx) > 0 {
+			return true
+		}
+		return lane.intake != nil && !lane.intake.Empty()
+	}
 	var wk workerScratch
 	for {
 		lane.mu.Lock()
@@ -916,6 +1096,9 @@ func (b *Broker) workerLoop(laneIdx int) {
 				lane.mu.Unlock()
 				return
 			}
+			if lane.intake != nil {
+				b.drainIntakeLocked(lane)
+			}
 			// The payload is copied into this worker's scratch under the
 			// lane lock: once released, concurrent publishes may evict and
 			// reuse the ring slot the message lives in.
@@ -923,7 +1106,14 @@ func (b *Broker) workerLoop(laneIdx int) {
 			if ok {
 				break
 			}
-			lane.cond.Wait()
+			// Idle: sleep outside the lane lock so publishers and sibling
+			// workers keep moving; the parker's ready() re-check closes the
+			// check-to-sleep race.
+			lane.mu.Unlock()
+			if !b.opts.BusyPoll || !lane.parker.Spin(ready, workerSpins) {
+				lane.parker.Park(ready)
+			}
+			lane.mu.Lock()
 		}
 		lane.mu.Unlock()
 
@@ -979,8 +1169,8 @@ func (b *Broker) dispatch(w core.Work, wk *workerScratch) {
 	case b.egressOn():
 		fb := transport.GetFrameBuf()
 		fb.B = wire.AppendDispatchBody(fb.B[:0], &w.Msg, b.opts.Clock())
+		fb.RetainN(len(wk.subs)) // the rings own one reference per subscriber
 		for _, s := range wk.subs {
-			fb.Retain() // the ring owns one reference per subscriber
 			switch s.eg.Enqueue(fb, w.Msg.Topic, w.LossTolerance) {
 			case transport.EnqueueOK, transport.EnqueueShed:
 				b.obs.DispatchSends.Inc()
@@ -1192,10 +1382,12 @@ func (b *Broker) promote() {
 	b.lockAllLanes()
 	b.engine.Promote()
 	stats := b.engine.Stats()
-	for _, l := range b.lanes {
-		l.cond.Broadcast()
-	}
 	b.unlockAllLanes()
+	for _, l := range b.lanes {
+		// The recovery jobs are visible (pushed under the lane locks above);
+		// wake every lane's workers to pop them.
+		l.parker.Unpark()
+	}
 	close(b.promoted)
 	b.obs.Promotions.Inc()
 	b.obs.RecoveryJobs.Add(stats.RecoveryJobs)

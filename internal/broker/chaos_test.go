@@ -25,6 +25,11 @@ func soakBudget() time.Duration {
 	return 4 * time.Second
 }
 
+// soakBusyPoll arms Options.BusyPoll in the soak brokers when
+// FRAME_SOAK_BUSY_POLL is set, so the nightly covers the spin-then-park
+// drain mode under -race without a separate harness.
+func soakBusyPoll() bool { return os.Getenv("FRAME_SOAK_BUSY_POLL") != "" }
+
 // chaosTopics spread across the lanes with retention deep enough that the
 // publisher's fail-over resend covers every message lost in the crash
 // window. All have Li = 0: the loss assertion is exact.
@@ -136,6 +141,7 @@ func runChaosCycle(t *testing.T, cycle int, rng *rand.Rand) {
 			Workers:     8,
 			Lanes:       4,
 			BatchWindow: 200 * time.Microsecond,
+			BusyPoll:    soakBusyPoll(),
 			Detector:    fastDetector(),
 			Topics:      topics,
 			Logger:      quietLogger(),

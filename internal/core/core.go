@@ -398,6 +398,19 @@ func (e *Engine) Topic(id spec.TopicID) (spec.Topic, bool) {
 	return st.spec, true
 }
 
+// CheckTopic reports whether id names a registered topic, returning the
+// same wrapped ErrUnknownTopic that OnPublish would. The topics map is
+// immutable after Start, so — like Topic — this is safe to call lock-free
+// from any goroutine; the broker uses it to answer WrongShard redirects
+// synchronously on the session goroutine before the asynchronous lane
+// intake ever sees the frame.
+func (e *Engine) CheckTopic(id spec.TopicID) error {
+	if _, ok := e.topics[id]; !ok {
+		return fmt.Errorf("%w %d (publish)", ErrUnknownTopic, id)
+	}
+	return nil
+}
+
 // WillReplicate reports the configuration-time replication verdict for id.
 func (e *Engine) WillReplicate(id spec.TopicID) bool {
 	st, ok := e.topics[id]

@@ -30,8 +30,12 @@ func LoadBenchRows(r io.Reader) ([]BenchRow, error) {
 
 // CompareBaseline judges fresh benchmark rows against a committed
 // baseline: any benchmark whose ns/op grew by more than maxRegressPct
-// percent, or that starts allocating when the baseline did not, is a
-// violation. Benchmarks present on only one side are violations too —
+// percent, that starts allocating when the baseline did not, or whose
+// bytes/op grew past the same percentage budget plus an 8-byte absolute
+// slack, is a violation. The slack exists because near-zero baselines
+// (pool-refill amortization reports 2-6 B/op) would otherwise flag on
+// integer jitter; it is far below the ~16-byte cost of a real escaped
+// header. Benchmarks present on only one side are violations too —
 // a silently dropped benchmark would otherwise retire its own guard.
 // Faster-than-baseline results are never violations; refresh the
 // committed file to ratchet them in.
@@ -57,6 +61,10 @@ func CompareBaseline(base, fresh []BenchRow, maxRegressPct float64) []string {
 		}
 		if b.AllocsPerOp == 0 && f.AllocsPerOp > 0 {
 			v = append(v, fmt.Sprintf("%s: %.0f allocs/op vs baseline 0", b.Name, f.AllocsPerOp))
+		}
+		if budget := b.BytesPerOp*(1+maxRegressPct/100) + 8; f.BytesPerOp > budget {
+			v = append(v, fmt.Sprintf("%s: %.0f B/op vs baseline %.0f (budget %.0f)",
+				b.Name, f.BytesPerOp, b.BytesPerOp, budget))
 		}
 	}
 	for name := range fm {

@@ -58,6 +58,27 @@ func TestCompareBaseline(t *testing.T) {
 		t.Errorf("alloc verdicts = %v", v)
 	}
 
+	// Bytes/op growth past the percentage budget plus the 8-byte slack
+	// fails; jitter inside the slack does not.
+	byteBase := []BenchRow{
+		{Name: "A", NsPerOp: 1000, BytesPerOp: 4},
+		{Name: "B", NsPerOp: 500, BytesPerOp: 100},
+	}
+	byteJitter := []BenchRow{
+		{Name: "A", NsPerOp: 1000, BytesPerOp: 11}, // under 4*1.1+8
+		{Name: "B", NsPerOp: 500, BytesPerOp: 110}, // exactly 100*1.1, inside slack
+	}
+	if v := CompareBaseline(byteBase, byteJitter, 10); len(v) != 0 {
+		t.Errorf("in-slack bytes/op flagged: %v", v)
+	}
+	byteRegress := []BenchRow{
+		{Name: "A", NsPerOp: 1000, BytesPerOp: 24}, // a real escaped header
+		{Name: "B", NsPerOp: 500, BytesPerOp: 100},
+	}
+	if v := CompareBaseline(byteBase, byteRegress, 10); len(v) != 1 || !strings.Contains(v[0], "B/op") {
+		t.Errorf("bytes/op verdicts = %v, want one for A", v)
+	}
+
 	// A benchmark vanishing from either side is a violation.
 	if v := CompareBaseline(base, ok[:1], 10); len(v) != 1 {
 		t.Errorf("missing-fresh verdicts = %v", v)

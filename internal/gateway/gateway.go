@@ -76,6 +76,13 @@ type Options struct {
 	ClientNoShed bool
 	// ClientWriteTimeout bounds each flush write to a client socket.
 	ClientWriteTimeout time.Duration
+	// Flushers sizes the shared flusher pool draining the per-client rings:
+	// zero means transport.DefaultFlushers, negative restores one writer
+	// goroutine per subscribed client.
+	Flushers int
+	// BusyPoll keeps idle flushers spinning briefly before parking, trading
+	// CPU for client wakeup latency.
+	BusyPoll bool
 	// AdminAddr, when non-empty, serves /metrics, /healthz, and pprof.
 	AdminAddr string
 	// Logger receives operational events; nil means slog.Default.
@@ -122,6 +129,9 @@ type Gateway struct {
 
 	meter  transport.Meter
 	egress transport.EgressMeter
+	// pool is the shared flusher set the client rings drain through; nil
+	// when Options.Flushers is negative (per-client writer goroutines).
+	pool *transport.FlusherPool
 
 	delivered   atomic.Uint64 // distinct upstream deliveries fanned out
 	forwarded   atomic.Uint64 // client publish frames forwarded upstream
@@ -232,6 +242,12 @@ func New(opts Options) (*Gateway, error) {
 			return nil, err
 		}
 	}
+	if opts.Flushers >= 0 {
+		g.pool = transport.NewFlusherPool(transport.FlusherPoolConfig{
+			Flushers: opts.Flushers,
+			BusyPoll: opts.BusyPoll,
+		})
+	}
 	return g, nil
 }
 
@@ -275,6 +291,11 @@ func (g *Gateway) Stop() {
 	g.cancel()
 	g.ln.Close()
 	g.closeSessions()
+	if g.pool != nil {
+		// Every attached ring was closed and waited above (subscribe refuses
+		// attachments once closed is set), so the pool drains clean.
+		g.pool.Close()
+	}
 	g.closeUpstream()
 	g.closePubLinks()
 	if g.admin != nil {
@@ -446,12 +467,18 @@ func (g *Gateway) subscribe(s *session, topics []spec.TopicID) {
 	if g.sessByConn[s.conn] != s {
 		return // lost a race with disconnect; the ring would leak
 	}
+	if g.closed.Load() {
+		// Checked under g.mu (which Stop's session sweep also takes): a ring
+		// attached now would land on a flusher pool that is already drained.
+		return
+	}
 	if s.eg == nil {
 		s.eg = transport.NewEgress(s.conn, transport.EgressConfig{
 			Depth: g.opts.ClientDepth,
 			Shed:  !g.opts.ClientNoShed,
 			Stall: g.opts.ClientWriteTimeout,
 			Meter: &g.egress,
+			Pool:  g.pool,
 		})
 	}
 	for _, id := range topics {
@@ -516,8 +543,8 @@ func (g *Gateway) fanout(d client.Delivery) {
 	}
 	fb := transport.GetFrameBuf()
 	fb.B = wire.AppendDispatchBody(fb.B[:0], &d.Msg, g.clock())
+	fb.RetainN(len(subs)) // the rings own one reference per client
 	for _, s := range subs {
-		fb.Retain() // the ring owns one reference per client
 		if s.eg.Enqueue(fb, d.Msg.Topic, li) == transport.EnqueueEvicted {
 			g.evictions.Add(1)
 			g.log.Warn("client evicted: consecutive sheds exceeded topic loss tolerance",
@@ -735,7 +762,7 @@ func (g *Gateway) Health() obsv.Health {
 func (g *Gateway) scrapeGauges() []obsv.Sample {
 	es := g.egress.Snapshot()
 	queued, subs := g.queued()
-	return []obsv.Sample{
+	samples := []obsv.Sample{
 		{Name: "frame_role", Label: `role="gateway"`, Value: 1,
 			Help: "Current fault-tolerance role (1 for the active label)."},
 		{Name: "frame_uptime_seconds", Value: time.Since(g.started).Seconds(),
@@ -777,4 +804,13 @@ func (g *Gateway) scrapeGauges() []obsv.Sample {
 		{Name: "frame_transport_bytes_recv_total", Counter: true, Value: float64(g.meter.BytesRecv.Load()),
 			Help: "Wire bytes received on gateway-owned connections."},
 	}
+	if g.pool != nil {
+		samples = append(samples,
+			obsv.Sample{Name: "frame_egress_flushers", Value: float64(g.pool.Size()),
+				Help: "Shared egress flusher goroutines (0 when per-client writers are in use)."},
+			obsv.Sample{Name: "frame_egress_escalations_total", Counter: true,
+				Value: float64(g.pool.Escalations()), Help: "Replacement flushers spawned to route around wedged client writes."},
+		)
+	}
+	return samples
 }

@@ -2,13 +2,29 @@ package queue
 
 import (
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 	"testing/quick"
 	"time"
 
-	"repro/internal/faultinject"
 	"repro/internal/spec"
 )
+
+// seedFromEnv mirrors faultinject.SeedFromEnv, which this package cannot
+// import anymore: faultinject pulls in transport, whose flusher pool is
+// built on this package's MPSC ring.
+func seedFromEnv(fallback int64) int64 {
+	s := os.Getenv("FRAME_CHAOS_SEED")
+	if s == "" {
+		return fallback
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return fallback
+	}
+	return v
+}
 
 // TestLaneForProperties checks the hash's contract with testing/quick: the
 // lane is always in range, the mapping is a pure function of the ID, and
@@ -78,7 +94,7 @@ func modelMin(lane []modelItem) int {
 // implies both invariants the broker relies on: EDF order within a lane and
 // per-topic FIFO.
 func TestShardedEDFMatchesModel(t *testing.T) {
-	seed := faultinject.SeedFromEnv(0x5eed)
+	seed := seedFromEnv(0x5eed)
 	t.Logf("seed=%d (override with FRAME_CHAOS_SEED to replay)", seed)
 	rng := rand.New(rand.NewSource(seed))
 	for trial := 0; trial < 150; trial++ {
@@ -199,7 +215,7 @@ func checkFIFO(t *testing.T, trial int, lastPopSeq map[spec.TopicID]uint64, j Jo
 // TestShardedEDFRouting checks that Push lands every job in LaneFor's lane
 // and PeekLane only ever surfaces that lane's topics.
 func TestShardedEDFRouting(t *testing.T) {
-	seed := faultinject.SeedFromEnv(7)
+	seed := seedFromEnv(7)
 	t.Logf("seed=%d (override with FRAME_CHAOS_SEED to replay)", seed)
 	rng := rand.New(rand.NewSource(seed))
 	const lanes = 5

@@ -43,15 +43,21 @@ type FrameBuf struct {
 	refs atomic.Int32
 }
 
-var frameBufPool = sync.Pool{New: func() any { return &FrameBuf{} }}
+// Fresh pool entries carry enough capacity for a typical dispatch body, so
+// a pool miss costs one allocation instead of a second one when the encoder
+// grows B from nil.
+var frameBufPool = sync.Pool{New: func() any { return &FrameBuf{B: make([]byte, 0, 256)} }}
 
-// frameBufRefs counts outstanding references across all live FrameBufs; leak
-// tests assert it returns to its baseline once all traffic drains.
+// frameBufRefs counts FrameBufs currently out of the pool: +1 at GetFrameBuf,
+// -1 when the final Release recycles the buffer. Counting buffers instead of
+// references keeps Retain and the non-final Releases — the fan-out hot path —
+// off this shared cache line, while leak tests keep the property they need:
+// once all traffic drains, the count returns to its baseline.
 var frameBufRefs atomic.Int64
 
-// FrameBufRefs reports the number of FrameBuf references currently held
-// anywhere in the process. Test-only observability; racing traffic makes the
-// instantaneous value approximate.
+// FrameBufRefs reports the number of FrameBufs currently checked out of the
+// pool anywhere in the process. Test-only observability; racing traffic makes
+// the instantaneous value approximate.
 func FrameBufRefs() int64 { return frameBufRefs.Load() }
 
 // GetFrameBuf returns a pooled buffer holding one reference. B has zero
@@ -69,18 +75,28 @@ func (b *FrameBuf) Retain() {
 	if b.refs.Add(1) <= 1 {
 		panic("transport: FrameBuf.Retain on released buffer")
 	}
-	frameBufRefs.Add(1)
+}
+
+// RetainN adds n references at once — one atomic add instead of n, which
+// matters on the fan-out path where a dispatch retains once per subscriber.
+func (b *FrameBuf) RetainN(n int) {
+	if n <= 0 {
+		return
+	}
+	if b.refs.Add(int32(n)) <= int32(n) {
+		panic("transport: FrameBuf.RetainN on released buffer")
+	}
 }
 
 // Release drops one reference; the last one returns the buffer to the pool.
 // Oversized payload storage is abandoned to the GC so one jumbo frame does
 // not pin memory in the pool, matching GetFrame/PutFrame's policy.
 func (b *FrameBuf) Release() {
-	frameBufRefs.Add(-1)
 	switch n := b.refs.Add(-1); {
 	case n < 0:
 		panic("transport: FrameBuf.Release without a reference")
 	case n == 0:
+		frameBufRefs.Add(-1)
 		if cap(b.B) > pooledPayloadCap {
 			b.B = nil
 		} else {
@@ -93,11 +109,19 @@ func (b *FrameBuf) Release() {
 // EgressMeter accumulates egress counters, typically shared by every
 // subscriber ring a broker owns. All fields are atomic.
 type EgressMeter struct {
+	// Producer-side counters, bumped on the enqueue path.
 	Enqueued  atomic.Uint64 // frames accepted into a ring
-	Flushed   atomic.Uint64 // frames written to a socket
-	Batches   atomic.Uint64 // vectored writes issued
 	Shed      atomic.Uint64 // frames dropped by the Li-aware shed policy
 	Evictions atomic.Uint64 // subscribers evicted for exceeding a topic's Li
+
+	// Padding keeps the flusher-side counters below off the cache line the
+	// enqueue path hammers; with a shared meter across many egresses, the
+	// two sides otherwise false-share on every frame.
+	_ [40]byte
+
+	// Flusher-side counters, bumped by the writer draining the ring.
+	Flushed   atomic.Uint64 // frames written to a socket
+	Batches   atomic.Uint64 // vectored writes issued
 	Stalls    atomic.Uint64 // writes failed by the write-stall deadline
 	WriteErrs atomic.Uint64 // failed vectored writes (stalls included)
 }
@@ -149,6 +173,10 @@ type EgressConfig struct {
 	MaxBatch int
 	// Meter receives counters; nil disables counting.
 	Meter *EgressMeter
+	// Pool, when non-nil, drains this ring with the pool's shared flushers
+	// instead of a dedicated writer goroutine (see FlusherPool). Nil keeps
+	// the per-subscriber writer.
+	Pool *FlusherPool
 }
 
 // EnqueueResult reports what Enqueue did with the frame.
@@ -187,24 +215,44 @@ type Egress struct {
 	head      int
 	count     int
 	highWater int
-	consec    map[spec.TopicID]int // consecutive drops per topic since last flush
-	closed    bool
-	evicted   bool
+	// pendEnq/pendShed batch enqueue-path meter counts under mu; the next
+	// collect (or terminal drain) publishes them in one atomic add each
+	// instead of one per frame. The shared meter lags by at most one flush
+	// cycle, which its readers (stats scrapes, tests after Wait) tolerate.
+	pendEnq  uint64
+	pendShed uint64
+	consec   map[spec.TopicID]int // consecutive drops per topic since last flush
+	closed   bool
+	evicted  bool
+
+	// Pooled mode (fl non-nil): state is the idle/queued handoff word of
+	// the flusher protocol, guarded by mu like the ring it describes.
+	// lingered marks an egress whose last flusher visit found it empty but
+	// kept it queued for one more sweep; the second empty visit idles it.
+	fl       *flusher
+	state    int32
+	lingered bool
 
 	// Writer-owned scratch, reused across batches. hdrs is pre-sized to
 	// 4*maxBatch so mid-batch growth can never move the header bytes that
-	// vecs already aliases.
-	batch []egressItem
-	hdrs  []byte
-	vecs  net.Buffers
+	// vecs already aliases. batchConsec snapshots (under mu, in
+	// collectLocked) whether the shed ledger had entries, so the common
+	// no-shed flush skips relocking to settle it.
+	batch       []egressItem
+	hdrs        []byte
+	vecs        net.Buffers
+	batchConsec bool
 
-	done chan struct{}
+	done     chan struct{}
+	doneOnce sync.Once
 }
 
-// NewEgress wraps conn with an outbound ring and starts its writer. The
-// egress owns all writes on conn from here on; callers route every frame
-// through Enqueue (control replies on a subscriber conn keep using Send,
-// which serializes with the flusher on the conn's write lock).
+// NewEgress wraps conn with an outbound ring and arranges its draining: a
+// dedicated writer goroutine by default, or cfg.Pool's shared flushers when
+// a pool is given. The egress owns all writes on conn from here on; callers
+// route every frame through Enqueue (control replies on a subscriber conn
+// keep using Send, which serializes with the flusher on the conn's write
+// lock).
 func NewEgress(conn *Conn, cfg EgressConfig) *Egress {
 	depth := cfg.Depth
 	if depth <= 0 {
@@ -231,7 +279,11 @@ func NewEgress(conn *Conn, cfg EgressConfig) *Egress {
 		done:  make(chan struct{}),
 	}
 	e.cond = sync.NewCond(&e.mu)
-	go e.run()
+	if cfg.Pool != nil {
+		e.fl = cfg.Pool.assign()
+	} else {
+		go e.run()
+	}
 	return e
 }
 
@@ -261,12 +313,30 @@ func (e *Egress) Enqueue(buf *FrameBuf, topic spec.TopicID, li int) EnqueueResul
 			if e.count > e.highWater {
 				e.highWater = e.count
 			}
-			e.cond.Broadcast()
+			submit := false
+			if e.fl != nil {
+				// Pooled mode: hand the egress to its flusher only on the
+				// idle→queued edge; while queued, the flusher re-checks the
+				// ring before going idle, so this enqueue is already covered.
+				if e.state == egIdle {
+					e.state = egQueued
+					submit = true
+				}
+			} else {
+				e.cond.Broadcast() // wake the dedicated writer
+			}
+			e.pendEnq++
 			e.mu.Unlock()
-			if e.meter != nil {
-				e.meter.Enqueued.Add(1)
+			if submit {
+				e.fl.submit(e)
 			}
 			return result
+		}
+		// Ring full. In pooled mode that can mean the flusher is wedged in
+		// a write on a sibling connection; age the in-flight write and
+		// spawn a replacement flusher past the escalation bound.
+		if e.fl != nil {
+			e.fl.maybeEscalate(e)
 		}
 		if !e.shed {
 			e.cond.Wait() // blocking backpressure mode
@@ -281,6 +351,7 @@ func (e *Egress) Enqueue(buf *FrameBuf, topic spec.TopicID, li int) EnqueueResul
 			e.closed, e.evicted = true, true
 			e.drainLocked()
 			e.cond.Broadcast()
+			idle := e.fl != nil && e.state == egIdle
 			e.mu.Unlock()
 			buf.Release()
 			if e.meter != nil {
@@ -290,6 +361,11 @@ func (e *Egress) Enqueue(buf *FrameBuf, topic spec.TopicID, li int) EnqueueResul
 			// lock; Close from a fresh goroutine unsticks it without
 			// blocking the dispatch lane here.
 			go e.conn.Close()
+			if idle {
+				// Pooled and not queued: no flusher will visit, so the
+				// terminal bookkeeping happens here.
+				e.finalize()
+			}
 			return EnqueueEvicted
 		}
 		e.ring[e.head] = egressItem{}
@@ -302,16 +378,34 @@ func (e *Egress) Enqueue(buf *FrameBuf, topic spec.TopicID, li int) EnqueueResul
 			e.consec = make(map[spec.TopicID]int)
 		}
 		e.consec[oldest.topic] = dropped + 1
+		e.pendShed++
 		oldest.buf.Release()
-		if e.meter != nil {
-			e.meter.Shed.Add(1)
-		}
 		result = EnqueueShed
 	}
 }
 
-// drainLocked releases every queued frame. Callers hold e.mu.
+// flushMeterLocked publishes the enqueue counts batched under mu to the
+// shared meter. Callers hold e.mu.
+func (e *Egress) flushMeterLocked() {
+	if e.meter == nil {
+		e.pendEnq, e.pendShed = 0, 0
+		return
+	}
+	if e.pendEnq != 0 {
+		e.meter.Enqueued.Add(e.pendEnq)
+		e.pendEnq = 0
+	}
+	if e.pendShed != 0 {
+		e.meter.Shed.Add(e.pendShed)
+		e.pendShed = 0
+	}
+}
+
+// drainLocked releases every queued frame and settles the batched meter
+// counts — every terminal path drains, so nothing stays unpublished.
+// Callers hold e.mu.
 func (e *Egress) drainLocked() {
+	e.flushMeterLocked()
 	for e.count > 0 {
 		it := e.ring[e.head]
 		e.ring[e.head] = egressItem{}
@@ -330,16 +424,38 @@ func (e *Egress) drainLocked() {
 // the conn themselves, then Wait for the writer.
 func (e *Egress) Close() {
 	e.mu.Lock()
-	if !e.closed {
-		e.closed = true
-		e.drainLocked()
-		e.cond.Broadcast()
+	if e.closed {
+		e.mu.Unlock()
+		return
 	}
+	e.closed = true
+	e.drainLocked()
+	e.cond.Broadcast()
+	idle := e.fl != nil && e.state == egIdle
 	e.mu.Unlock()
+	if idle {
+		// Pooled and not queued anywhere: the flushers will never visit
+		// this egress again, so it reaches its terminal state here. When
+		// queued, the owning flusher finds the drained ring and finalizes.
+		e.finalize()
+	}
 }
 
-// Wait blocks until the writer goroutine has exited.
+// Wait blocks until the egress has fully stopped: the dedicated writer
+// exited, or — pooled — its flusher (or Close) finalized it.
 func (e *Egress) Wait() { <-e.done }
+
+// finalize performs the one-time terminal transition of a pooled egress:
+// an evicted connection is closed (the dedicated-writer path does the same
+// on exit) and waiters are released.
+func (e *Egress) finalize() {
+	e.doneOnce.Do(func() {
+		if e.Evicted() {
+			e.conn.Close()
+		}
+		close(e.done)
+	})
+}
 
 // Evicted reports whether the shed policy evicted this subscriber.
 func (e *Egress) Evicted() bool {
@@ -362,86 +478,113 @@ func (e *Egress) HighWater() int {
 	return e.highWater
 }
 
-// run is the writer: drain up to maxBatch frames, flush them in one vectored
-// write, release, repeat until closed and empty.
+// run is the dedicated writer (pool-less mode): drain up to maxBatch frames,
+// flush them in one vectored write, release, repeat until closed and empty.
 func (e *Egress) run() {
-	defer close(e.done)
+	defer e.finalize()
 	for {
 		e.mu.Lock()
 		for e.count == 0 && !e.closed {
 			e.cond.Wait()
 		}
-		if e.count == 0 {
-			evicted := e.evicted
-			e.mu.Unlock()
-			if evicted {
-				e.conn.Close()
-			}
+		n := e.collectLocked()
+		e.mu.Unlock()
+		if n == 0 {
+			return // closed and drained; finalize closes an evicted conn
+		}
+		if err := e.flushBatch(n); err != nil {
 			return
 		}
-		n := e.count
-		if n > cap(e.batch) {
-			n = cap(e.batch)
-		}
-		e.batch = e.batch[:0]
-		for i := 0; i < n; i++ {
-			e.batch = append(e.batch, e.ring[e.head])
-			e.ring[e.head] = egressItem{}
-			e.head++
-			if e.head == len(e.ring) {
-				e.head = 0
-			}
-		}
-		e.count -= n
-		e.cond.Broadcast() // wake enqueuers blocked on a full ring
-		e.mu.Unlock()
+	}
+}
 
-		e.hdrs = e.hdrs[:0]
-		e.vecs = e.vecs[:0]
-		total := 0
-		for _, it := range e.batch {
-			off := len(e.hdrs)
-			e.hdrs = append(e.hdrs, 0, 0, 0, 0)
-			binary.LittleEndian.PutUint32(e.hdrs[off:], uint32(len(it.buf.B)))
-			e.vecs = append(e.vecs, e.hdrs[off:off+4], it.buf.B)
-			total += 4 + len(it.buf.B)
-		}
-		err := e.conn.WriteBuffers(e.vecs, n, total)
-		if err == nil {
+// collectLocked moves up to maxBatch frames from the ring into the batch
+// scratch and wakes enqueuers blocked on a full ring. Caller holds e.mu;
+// the batch belongs to that caller until its flushBatch returns (the
+// idle/queued handoff keeps pooled collectors from overlapping).
+func (e *Egress) collectLocked() int {
+	n := e.count
+	if n == 0 {
+		return 0
+	}
+	if n > cap(e.batch) {
+		n = cap(e.batch)
+	}
+	// Bulk-move in at most two contiguous chunks: the copy/clear pair beats
+	// a per-item loop while the producers contend on this mutex.
+	e.batch = e.batch[:n]
+	first := n
+	if r := len(e.ring) - e.head; first > r {
+		first = r
+	}
+	copy(e.batch[:first], e.ring[e.head:e.head+first])
+	clear(e.ring[e.head : e.head+first])
+	if rest := n - first; rest > 0 {
+		copy(e.batch[first:], e.ring[:rest])
+		clear(e.ring[:rest])
+	}
+	e.head += n
+	if e.head >= len(e.ring) {
+		e.head -= len(e.ring)
+	}
+	e.count -= n
+	e.flushMeterLocked()
+	// Snapshot whether the shed ledger has entries: flushBatch (outside the
+	// mutex, same goroutine) skips its settle-locking round-trip when not.
+	e.batchConsec = len(e.consec) != 0
+	e.cond.Broadcast() // wake enqueuers blocked on a full ring
+	return n
+}
+
+// flushBatch writes the collected batch in one vectored write and settles
+// its accounting. A write error closes and drains the egress, counts the
+// failure, and closes the connection; the caller must stop draining.
+func (e *Egress) flushBatch(n int) error {
+	e.hdrs = e.hdrs[:0]
+	e.vecs = e.vecs[:0]
+	total := 0
+	for _, it := range e.batch {
+		off := len(e.hdrs)
+		e.hdrs = append(e.hdrs, 0, 0, 0, 0)
+		binary.LittleEndian.PutUint32(e.hdrs[off:], uint32(len(it.buf.B)))
+		e.vecs = append(e.vecs, e.hdrs[off:off+4], it.buf.B)
+		total += 4 + len(it.buf.B)
+	}
+	err := e.conn.WriteBuffers(e.vecs, n, total)
+	if err == nil {
+		if e.batchConsec {
 			e.mu.Lock()
-			if e.consec != nil {
-				for _, it := range e.batch {
-					delete(e.consec, it.topic)
-				}
+			for _, it := range e.batch {
+				delete(e.consec, it.topic)
 			}
 			e.mu.Unlock()
-			for i := range e.batch {
-				e.batch[i].buf.Release()
-				e.batch[i] = egressItem{}
-			}
-			if e.meter != nil {
-				e.meter.Flushed.Add(uint64(n))
-				e.meter.Batches.Add(1)
-			}
-			continue
 		}
 		for i := range e.batch {
 			e.batch[i].buf.Release()
 			e.batch[i] = egressItem{}
 		}
-		e.mu.Lock()
-		wasClosed := e.closed
-		e.closed = true
-		e.drainLocked()
-		e.cond.Broadcast()
-		e.mu.Unlock()
-		if !wasClosed && e.meter != nil {
-			if errors.Is(err, os.ErrDeadlineExceeded) {
-				e.meter.Stalls.Add(1)
-			}
-			e.meter.WriteErrs.Add(1)
+		if e.meter != nil {
+			e.meter.Flushed.Add(uint64(n))
+			e.meter.Batches.Add(1)
 		}
-		e.conn.Close()
-		return
+		return nil
 	}
+	for i := range e.batch {
+		e.batch[i].buf.Release()
+		e.batch[i] = egressItem{}
+	}
+	e.mu.Lock()
+	wasClosed := e.closed
+	e.closed = true
+	e.drainLocked()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	if !wasClosed && e.meter != nil {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			e.meter.Stalls.Add(1)
+		}
+		e.meter.WriteErrs.Add(1)
+	}
+	e.conn.Close()
+	return err
 }

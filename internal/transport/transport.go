@@ -62,7 +62,8 @@ type Conn struct {
 
 	writeMu sync.Mutex
 	wbuf    []byte
-	hdrBuf  [4]byte // header scratch; a local would escape through nc.Write
+	hdrBuf  [4]byte     // header scratch; a local would escape through nc.Write
+	wv      net.Buffers // WriteBuffers scratch; a local would escape through WriteTo
 
 	// Write batching (see EnableBatching); all fields guarded by writeMu.
 	batchWin      time.Duration
@@ -240,8 +241,13 @@ func (c *Conn) WriteBuffers(bufs net.Buffers, frames, nbytes int) error {
 	}
 	c.armWriteStallLocked()
 	defer c.disarmWriteStallLocked()
-	vecs := bufs // WriteTo reslices its receiver; keep the caller's header intact
-	if _, err := vecs.WriteTo(c.nc); err != nil {
+	// WriteTo reslices its receiver, so write through the conn's scratch
+	// header: it keeps the caller's slice intact without heap-escaping a
+	// fresh one per call (WriteTo's pointer receiver escapes a local).
+	c.wv = bufs
+	_, err := c.wv.WriteTo(c.nc)
+	c.wv = nil // don't pin the caller's arrays past the write
+	if err != nil {
 		return c.stickyWriteLocked("vectored write", err)
 	}
 	if c.meter != nil {
