@@ -47,7 +47,7 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, shardscale, gateway, opoints, or all")
+		exp     = flag.String("exp", "all", "experiment: table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, shardscale, gateway, opoints, durable, or all")
 		lanes   = flag.String("lanes", "", "lanescale: comma-separated lane counts to sweep (default 1,2,4,8)")
 		shards  = flag.String("shards", "", "shardscale: comma-separated shard counts to sweep (default 1,2,4)")
 		minSpd  = flag.Float64("min-speedup", 0, "shardscale: fail unless last/first throughput reaches this factor (skipped when CPUs < largest shard count)")
@@ -67,7 +67,11 @@ func run() error {
 		paylds  = flag.String("payloads", "", "opoints: comma-separated payload sizes in bytes (default 64,1024,65536)")
 		fanouts = flag.String("fanouts", "", "opoints: comma-separated subscriber fan-outs (default 1,8,64)")
 		opMsgs  = flag.Int("opoints-msgs", 0, "opoints: messages per cell before the byte budget clamps (default 256)")
-		benchJS = flag.String("bench-json", "", "opoints: also write the grid as BenchRow JSON to this path (benchdiff-comparable)")
+		benchJS = flag.String("bench-json", "", "opoints/durable: also write the result as BenchRow JSON to this path (benchdiff-comparable)")
+		durPubs = flag.Int("durable-pubs", 0, "durable: concurrent publisher count (default 32)")
+		durMsgs = flag.Int("durable-msgs", 0, "durable: publishes per publisher (default 100)")
+		durSync = flag.Duration("durable-fsync", 0, "durable: group-commit window for the group mode (default: broker default)")
+		durGate = flag.Bool("durable-gate", true, "durable: fail unless p99 ordering mem < group < always holds")
 	)
 	flag.Parse()
 
@@ -150,6 +154,23 @@ func run() error {
 			}
 			return res, nil
 		}, true},
+		{"durable", func() (formatter, error) {
+			res, err := experiments.RunDurable(cfg, experiments.DurableOptions{
+				Publishers:    *durPubs,
+				Messages:      *durMsgs,
+				FsyncInterval: *durSync,
+				Gate:          *durGate,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if *benchJS != "" {
+				if err := writeBenchJSON(*benchJS, res); err != nil {
+					return nil, err
+				}
+			}
+			return res, nil
+		}, true},
 	}
 
 	matched := *exp == "none" // -exp none: scrape-only invocation
@@ -174,7 +195,7 @@ func run() error {
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown -exp %q (want table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, shardscale, gateway, opoints, all, or none)", *exp)
+		return fmt.Errorf("unknown -exp %q (want table4, table5, fig7, fig8, fig9, multiedge, lanescale, egress, shardscale, gateway, opoints, durable, all, or none)", *exp)
 	}
 	if *scrape != "" {
 		if err := scrapeMetrics(*scrape, *csvDir); err != nil {
@@ -261,9 +282,9 @@ func scrapeMetrics(target, dir string) error {
 	return cw.Error()
 }
 
-// writeBenchJSON stores the opoints grid as BenchRow JSON at path, creating
-// parent directories as needed.
-func writeBenchJSON(path string, res *experiments.OpointsResult) error {
+// writeBenchJSON stores a result's BenchRow JSON at path, creating parent
+// directories as needed.
+func writeBenchJSON(path string, res interface{ WriteBenchJSON(io.Writer) error }) error {
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err

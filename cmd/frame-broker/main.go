@@ -57,6 +57,12 @@ func run() error {
 		intakeDepth = flag.Int("intake-depth", 0, "per-lane lock-free publish intake ring capacity in messages; publisher sessions push without the lane lock and workers drain in batches (0 = default 1024, negative = locked intake, the pre-intake behavior)")
 		flushers    = flag.Int("flushers", 0, "shared egress flusher goroutines sweeping all subscriber rings (0 = default 4, negative = one writer goroutine per subscriber)")
 		busyPoll    = flag.Bool("busy-poll", false, "spin idle lane workers and egress flushers briefly before parking: lower wakeup latency, higher idle CPU")
+		durable     = flag.Bool("durable", false, "ACK = durable mode: append every publish to a segmented group-commit log under -log-dir, ack with PubAck after fsync, and replay the log into the recovery path on restart")
+		logDir      = flag.String("log-dir", "", "durable log directory (required with -durable)")
+		fsyncEvery  = flag.Duration("fsync-interval", 0, "group-commit window: one fsync acknowledges every publish that arrived within it (0 = default 2ms, negative = fsync per publish)")
+		logSegBytes = flag.Int64("log-segment-bytes", 0, "roll the durable log to a new segment past this size (0 = default 8MiB)")
+		logRetain   = flag.Int64("log-retain-bytes", 0, "drop oldest sealed segments past this total size (0 = default 256MiB, negative = unlimited)")
+		logRetAge   = flag.Duration("log-retain-age", 0, "drop sealed segments older than this (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -131,6 +137,17 @@ func run() error {
 	}
 	if *diskSync {
 		opts.DiskSync = frame.DiskSyncAlways
+	}
+	if *durable {
+		if *logDir == "" {
+			return fmt.Errorf("-durable requires -log-dir")
+		}
+		opts.Durable = true
+		opts.LogDir = *logDir
+		opts.FsyncInterval = *fsyncEvery
+		opts.LogSegmentBytes = *logSegBytes
+		opts.LogRetainBytes = *logRetain
+		opts.LogRetainAge = *logRetAge
 	}
 	b, err := frame.NewBroker(opts)
 	if err != nil {

@@ -9,7 +9,11 @@
 // gateway terminating reconnecting thin clients in front of a broker
 // pair — and judge its isolation contract: client-side faults and
 // gateway crashes stay inside the thin clients' Li budgets and never
-// reach the brokers.
+// reach the brokers. Dual-crash durability scenarios fail-stop the
+// ENTIRE pair mid-load and judge a broker restarted from the Primary's
+// group-commit log segments: no acked publish lost, no on-disk-pruned
+// message re-dispatched, and the unpruned backlog recovery-dispatched
+// exactly once.
 //
 // Every fault decision is driven by the seed, so a failed run replays
 // exactly:
@@ -23,7 +27,8 @@
 //	frame-chaos -smoke                        # PR-gate subset only
 //	frame-chaos -shard                        # shard-level scenarios only
 //	frame-chaos -gateway                      # gateway-level scenarios only
-//	frame-chaos -scenario shard-kill-pair     # one scenario (any kind)
+//	frame-chaos -durable                      # dual-crash durability only
+//	frame-chaos -scenario kill-both-brokers   # one scenario (any kind)
 //	frame-chaos -artifacts out/               # transcripts for failures
 //
 // The seed defaults to FRAME_CHAOS_SEED when set, else a per-scenario
@@ -78,6 +83,13 @@ func registry() []entry {
 			run: func(o chaos.RunOptions) (*chaos.Result, error) { return chaos.RunGateway(sc, o) },
 		})
 	}
+	for _, sc := range chaos.DurableAll() {
+		sc := sc
+		out = append(out, entry{
+			name: sc.Name, desc: sc.Description, smoke: sc.Smoke, kind: "dur",
+			run: func(o chaos.RunOptions) (*chaos.Result, error) { return chaos.RunDurable(sc, o) },
+		})
+	}
 	return out
 }
 
@@ -89,6 +101,7 @@ func run() error {
 		smoke     = flag.Bool("smoke", false, "run only the Smoke subset (the PR gate)")
 		shardOnly = flag.Bool("shard", false, "run only the shard-level scenarios")
 		gwOnly    = flag.Bool("gateway", false, "run only the gateway-level scenarios")
+		durOnly   = flag.Bool("durable", false, "run only the dual-crash durability scenarios")
 		artifacts = flag.String("artifacts", "", "directory for failure transcripts")
 	)
 	flag.Parse()
@@ -125,6 +138,9 @@ func run() error {
 				continue
 			}
 			if *gwOnly && e.kind != "gw" {
+				continue
+			}
+			if *durOnly && e.kind != "dur" {
 				continue
 			}
 			selected = append(selected, e)

@@ -167,6 +167,18 @@ const (
 	DiskSyncNever = diskstore.SyncNever
 )
 
+// Durability-plane defaults (the opt-in BrokerOptions.Durable mode: a
+// segmented append log with a group-commit writer, acking publishes with
+// PubAck once fsynced — see DESIGN.md §15).
+const (
+	// DefaultFsyncInterval is the group-commit window when
+	// BrokerOptions.FsyncInterval is zero.
+	DefaultFsyncInterval = broker.DefaultFsyncInterval
+	// DefaultAckTimeout bounds a durable Publish's PubAck wait when
+	// PublisherOptions.AckTimeout is zero.
+	DefaultAckTimeout = client.DefaultAckTimeout
+)
+
 // NewBroker creates a broker; call Start to serve and Stop to shut down.
 func NewBroker(opts BrokerOptions) (*Broker, error) { return broker.New(opts) }
 

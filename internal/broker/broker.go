@@ -177,7 +177,39 @@ type Options struct {
 	// before parking, trading CPU for wakeup latency on latency-critical
 	// deployments (-busy-poll).
 	BusyPoll bool
+	// Durable turns on the "ACK = durable" publish mode (-durable): every
+	// accepted publish is appended to a segmented log in LogDir through a
+	// group-commit writer, and the publisher's PubAck is sent only after
+	// the fsync covering the record completes. Dispatched messages are
+	// marked with prune records so a restart replays the log without
+	// re-dispatching them (Table 3 discipline). This is the local-disk
+	// strategy the paper's Table 1 rejects for latency, offered alongside
+	// the in-memory pair so the trade is measurable.
+	Durable bool
+	// LogDir is the durable mode's segment directory; required with Durable.
+	LogDir string
+	// FsyncInterval spaces group-commit fsyncs: publishers arriving within
+	// one window share a single fsync. Zero means DefaultFsyncInterval;
+	// negative degenerates to one fsync per publish (SyncAlways, the slow
+	// bound). Ignored without Durable.
+	FsyncInterval time.Duration
+	// LogSegmentBytes, LogRetainBytes, and LogRetainAge shape the durable
+	// segment log (zero = diskstore defaults, negative retention = keep
+	// everything). Ignored without Durable.
+	LogSegmentBytes int64
+	LogRetainBytes  int64
+	LogRetainAge    time.Duration
+	// HoldRecovery defers dispatching the log-replayed backlog until
+	// RecoverFromLog is called, for orchestrations (chaos runs, tests)
+	// that must reattach subscribers before the recovered messages drain.
+	// Without it Start schedules recovery immediately.
+	HoldRecovery bool
 }
+
+// DefaultFsyncInterval is the group-commit window when Options.FsyncInterval
+// is zero: long enough that concurrent publishers share fsyncs, short enough
+// to stay well inside edge-tier deadlines.
+const DefaultFsyncInterval = 2 * time.Millisecond
 
 // DefaultPeerWriteTimeout is the replication-link write-stall bound when
 // Options.PeerWriteTimeout is zero: generous against transient socket
@@ -257,6 +289,17 @@ type Broker struct {
 
 	diskMu sync.Mutex
 	disk   *diskstore.Log // optional durable replica log (Backup role)
+
+	// committer owns the durable mode's segmented log (nil without
+	// Options.Durable): sessions enqueue publish records and park on the
+	// group-commit waiter; dispatch workers enqueue fire-and-forget prune
+	// markers. recoveredMsgs/recoveredPrunes count what the log replayed
+	// at startup; recoverOnce gates the one-shot backlog dispatch.
+	committer       *diskstore.Committer
+	durableAcks     atomic.Uint64
+	recoverOnce     sync.Once
+	recoveredMsgs   int
+	recoveredPrunes int
 }
 
 // subscriber is one fan-out target: the session connection plus (when the
@@ -468,6 +511,49 @@ func New(opts Options) (*Broker, error) {
 			b.log.Info("reloaded persisted replicas", "count", reloaded)
 		}
 	}
+	if opts.Durable {
+		if opts.LogDir == "" {
+			ln.Close()
+			if b.admin != nil {
+				b.admin.Close()
+			}
+			return nil, errors.New("broker: durable mode needs a log dir")
+		}
+		seg, rep, err := diskstore.OpenSegmented(opts.LogDir, diskstore.SegmentOptions{
+			SegmentBytes: opts.LogSegmentBytes,
+			RetainBytes:  opts.LogRetainBytes,
+			RetainAge:    opts.LogRetainAge,
+		})
+		if err != nil {
+			ln.Close()
+			if b.admin != nil {
+				b.admin.Close()
+			}
+			return nil, fmt.Errorf("broker: durable log: %w", err)
+		}
+		interval := opts.FsyncInterval
+		if interval == 0 {
+			interval = DefaultFsyncInterval
+		}
+		b.committer = diskstore.NewCommitter(seg, interval)
+		// Replay in log order: messages land in the Backup Buffers (the
+		// same rings §IV-A promotion drains), prune records mark the ones
+		// a previous life already dispatched. The backlog is scheduled by
+		// RecoverFromLog, not here, so subscribers can reattach first.
+		for _, m := range rep.Messages {
+			if err := b.engine.OnReplica(m, 0); err == nil {
+				b.recoveredMsgs++
+			}
+		}
+		for _, pr := range rep.Prunes {
+			b.engine.OnPrune(pr.Topic, pr.Seq)
+			b.recoveredPrunes++
+		}
+		if b.recoveredMsgs > 0 || b.recoveredPrunes > 0 {
+			b.log.Info("replayed durable log",
+				"messages", b.recoveredMsgs, "prunes", b.recoveredPrunes)
+		}
+	}
 	if b.egressOn() && opts.Flushers >= 0 {
 		b.pool = transport.NewFlusherPool(transport.FlusherPoolConfig{
 			Flushers: opts.Flushers,
@@ -475,6 +561,28 @@ func New(opts Options) (*Broker, error) {
 		})
 	}
 	return b, nil
+}
+
+// RecoverFromLog schedules dispatch of the durable log's replayed backlog:
+// every non-pruned message goes back through the normal EDF delivery path
+// as a recovery dispatch (never re-dispatching what a prune record marked —
+// Table 3, Recovery step 1). Start calls it automatically unless
+// Options.HoldRecovery; it is idempotent and a no-op without Durable.
+func (b *Broker) RecoverFromLog() {
+	if b.committer == nil {
+		return
+	}
+	b.recoverOnce.Do(func() {
+		b.lockAllLanes()
+		b.engine.ScheduleRecovery()
+		b.unlockAllLanes()
+		for _, l := range b.lanes {
+			l.parker.Unpark()
+		}
+		st := b.engine.Stats()
+		b.log.Info("scheduled recovery from durable log",
+			"jobs", st.RecoveryJobs, "skipped", st.RecoverySkipped)
+	})
 }
 
 // Addr returns the bound listen address.
@@ -631,6 +739,25 @@ func (b *Broker) scrapeGauges() []obsv.Sample {
 			)
 		}
 	}
+	if b.committer != nil {
+		cs := b.committer.Stats()
+		samples = append(samples,
+			obsv.Sample{Name: "frame_durable_records_total", Counter: true,
+				Value: float64(cs.Records), Help: "Records (publishes + prune markers) appended to the durable log."},
+			obsv.Sample{Name: "frame_durable_batches_total", Counter: true,
+				Value: float64(cs.Batches), Help: "Group-commit batches written to the durable log."},
+			obsv.Sample{Name: "frame_durable_fsyncs_total", Counter: true,
+				Value: float64(cs.Fsyncs), Help: "fsync calls issued by the group-commit writer."},
+			obsv.Sample{Name: "frame_durable_pending", Value: float64(cs.Pending),
+				Help: "Records enqueued for the durable log but not yet on stable storage."},
+			obsv.Sample{Name: "frame_durable_segments", Value: float64(cs.Segments),
+				Help: "Live durable log segments on disk."},
+			obsv.Sample{Name: "frame_durable_log_bytes", Value: float64(cs.Bytes),
+				Help: "Total bytes across live durable log segments."},
+			obsv.Sample{Name: "frame_durable_acks_total", Counter: true,
+				Value: float64(b.durableAcks.Load()), Help: "PubAcks sent after a publish reached stable storage."},
+		)
+	}
 	if b.opts.ExtraGauges != nil {
 		samples = append(samples, b.opts.ExtraGauges()...)
 	}
@@ -723,10 +850,21 @@ func (b *Broker) Start() {
 			b.watchPrimary(ctx)
 		}()
 	}
+	if b.opts.Durable && !b.opts.HoldRecovery {
+		b.RecoverFromLog()
+	}
 }
 
 // Stop shuts the broker down and waits for all goroutines.
-func (b *Broker) Stop() {
+func (b *Broker) Stop() { b.shutdown(true) }
+
+// Kill fail-stops the broker for fault injection: the same teardown as
+// Stop, except a durable committer is crashed rather than drained —
+// queued log records and prune markers are lost exactly as a process kill
+// would lose them, and only earlier fsynced batches survive on disk.
+func (b *Broker) Kill() { b.shutdown(false) }
+
+func (b *Broker) shutdown(drain bool) {
 	if b.cancel != nil {
 		b.cancel()
 	}
@@ -763,6 +901,16 @@ func (b *Broker) Stop() {
 		b.disk = nil
 	}
 	b.diskMu.Unlock()
+	if b.committer != nil {
+		// After wg.Wait no session or worker can enqueue again. A drain
+		// (Stop) commits what is queued and seals the log; a crash (Kill)
+		// abandons the queue the way a dead process would.
+		if !drain {
+			b.committer.Crash()
+		} else if err := b.committer.Close(); err != nil {
+			b.log.Warn("durable log close failed", "err", err)
+		}
+	}
 }
 
 func (b *Broker) closeSubscribers() {
@@ -851,7 +999,7 @@ func (b *Broker) handleFrame(conn *transport.Conn, f *wire.Frame) error {
 	case wire.TypeHello:
 		return nil // roles are implicit in subsequent traffic
 	case wire.TypePublish, wire.TypeResend:
-		if err := b.onPublish(f.Msg); err != nil {
+		if err := b.onPublish(conn, f.Msg); err != nil {
 			// In a cluster, an unknown topic means the publisher routed on a
 			// stale table: answer with a WrongShard redirect so it refreshes
 			// and re-homes the topic. Outside a cluster it is the sender's
@@ -901,7 +1049,14 @@ func (b *Broker) handleFrame(conn *transport.Conn, f *wire.Frame) error {
 // workers, which fold the ring into the engine under the lock they already
 // hold. The engine therefore observes the publish (Stats().Published, queue
 // depth) slightly after onPublish returns.
-func (b *Broker) onPublish(m wire.Message) error {
+//
+// In durable mode the message is also handed to the group-commit writer
+// after validation, and the session goroutine parks on the commit waiter
+// before acking: the fsync, not arrival, is what the PubAck certifies.
+// Parking here is also what keeps the zero-copy enqueue sound — m.Payload
+// aliases the session's receive buffer, which cannot be overwritten while
+// this frame's handler is still on the stack.
+func (b *Broker) onPublish(conn *transport.Conn, m wire.Message) error {
 	now := b.opts.Clock()
 	lane := b.lane(m.Topic)
 	if lane.intake == nil {
@@ -913,11 +1068,18 @@ func (b *Broker) onPublish(m wire.Message) error {
 			b.obs.PublishRejected.Inc()
 			return err
 		}
+		var commit *diskstore.Commit
+		if b.committer != nil {
+			commit = b.committer.Enqueue(m)
+		}
 		lane.parker.Unpark()
 		b.obs.Publishes.Inc()
 		b.obs.StageProxy.Observe(b.opts.Clock() - now)
 		b.obs.Trace(obsv.TraceEvent{Stage: obsv.StagePublish, Topic: uint64(m.Topic), Seq: m.Seq, At: now})
 		b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageEnqueue, Topic: uint64(m.Topic), Seq: m.Seq, At: now})
+		if commit != nil {
+			return b.finishDurable(conn, m, commit, now)
+		}
 		return nil
 	}
 	if err := b.engine.CheckTopic(m.Topic); err != nil {
@@ -926,6 +1088,10 @@ func (b *Broker) onPublish(m wire.Message) error {
 		// validated here, the drain-side OnPublish cannot fail.
 		b.obs.PublishRejected.Inc()
 		return err
+	}
+	var commit *diskstore.Commit
+	if b.committer != nil {
+		commit = b.committer.Enqueue(m)
 	}
 	fill := func(im *intakeMsg) {
 		buf := im.payload
@@ -955,7 +1121,29 @@ func (b *Broker) onPublish(m wire.Message) error {
 	b.obs.StageProxy.Observe(b.opts.Clock() - now)
 	b.obs.Trace(obsv.TraceEvent{Stage: obsv.StagePublish, Topic: uint64(m.Topic), Seq: m.Seq, At: now})
 	b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageEnqueue, Topic: uint64(m.Topic), Seq: m.Seq, At: now})
+	if commit != nil {
+		return b.finishDurable(conn, m, commit, now)
+	}
 	return nil
+}
+
+// finishDurable parks the session goroutine until the group-commit writer
+// has fsynced m, then acks the publisher with a PubAck. A log failure is
+// deliberately not a session error: the message is already in flight
+// through the in-memory plane (Table 3 replication still covers it), the
+// broker just withholds the durability ack and logs the degradation.
+func (b *Broker) finishDurable(conn *transport.Conn, m wire.Message, commit *diskstore.Commit, start time.Duration) error {
+	if err := commit.Wait(); err != nil {
+		b.log.Warn("durable commit failed", "topic", m.Topic, "seq", m.Seq, "err", err)
+		return nil
+	}
+	b.durableAcks.Add(1)
+	b.obs.StageDurable.Observe(b.opts.Clock() - start)
+	b.obs.Trace(obsv.TraceEvent{Stage: obsv.StageDurable, Topic: uint64(m.Topic), Seq: m.Seq, At: b.opts.Clock()})
+	if conn == nil {
+		return nil
+	}
+	return conn.Send(&wire.Frame{Type: wire.TypePubAck, Topic: m.Topic, Seq: m.Seq})
 }
 
 // drainIntakeLocked folds queued publishes into the engine. Caller holds
@@ -1199,6 +1387,14 @@ func (b *Broker) dispatch(w core.Work, wk *workerScratch) {
 	lane.mu.Lock()
 	co := b.engine.OnDispatched(w.Job)
 	lane.mu.Unlock()
+	if b.committer != nil {
+		// Prune marker: a crash after this record is synced must not
+		// re-dispatch (topic, seq) on replay — Table 3's discipline applied
+		// to the log. Fire-and-forget: losing the tail markers in a crash
+		// re-dispatches at most the last batch, which subscriber-side seq
+		// dedup absorbs.
+		b.committer.EnqueuePrune(w.Msg.Topic, w.Msg.Seq)
+	}
 	if co.SendPrune {
 		if peer := b.peer(); peer != nil {
 			wk.body = wire.AppendPruneBody(wk.body[:0], co.Topic, co.Seq)

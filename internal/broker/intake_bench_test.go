@@ -61,7 +61,7 @@ func benchmarkPublishContended(b *testing.B, intakeDepth int) {
 		for pb.Next() {
 			seq++
 			m := wire.Message{Topic: id, Seq: seq, Created: bk.opts.Clock(), Payload: payload}
-			if err := bk.onPublish(m); err != nil {
+			if err := bk.onPublish(nil, m); err != nil {
 				b.Error(err)
 				return
 			}

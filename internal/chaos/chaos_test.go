@@ -124,6 +124,79 @@ func TestGatewayChaosScenarios(t *testing.T) {
 	}
 }
 
+// TestDurableChaosScenarios runs every dual-crash scenario: both brokers
+// of a durable pair are fail-stopped mid-load and the second life is
+// judged against the crashed log's ground truth. kill-both-brokers is
+// Smoke (the `durable-smoke` CI job runs this file under -short); the
+// nightly chaos-durable workflow runs everything under -race.
+func TestDurableChaosScenarios(t *testing.T) {
+	artifacts := os.Getenv("FRAME_CHAOS_ARTIFACTS")
+	for _, sc := range chaos.DurableAll() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if testing.Short() && !sc.Smoke {
+				t.Skip("not in the -short smoke subset")
+			}
+			seed := faultinject.SeedFromEnv(defaultSeed(sc.Name))
+			res, err := chaos.RunDurable(sc, chaos.RunOptions{Seed: seed, ArtifactsDir: artifacts})
+			if err != nil {
+				t.Fatalf("seed=%d setup: %v (replay: FRAME_CHAOS_SEED=%d)", seed, err, seed)
+			}
+			t.Logf("seed=%d acked=%d delivered=%d frames=%d publishErrs=%d elapsed=%v",
+				res.Seed, res.Published, res.Delivered, res.Frames, res.PublishErrs, res.Elapsed)
+			if !res.Passed() {
+				t.Logf("replay: FRAME_CHAOS_SEED=%d go test -count=1 -run 'TestDurableChaosScenarios/%s' ./internal/chaos/",
+					res.Seed, sc.Name)
+				if res.ArtifactPath != "" {
+					t.Logf("artifact: %s", res.ArtifactPath)
+				}
+				for _, line := range res.Transcript.Tail(40) {
+					t.Log(line)
+				}
+				for _, f := range res.Failures {
+					t.Errorf("invariant violated: %s", f)
+				}
+			}
+		})
+	}
+}
+
+// TestDurableScenarioRegistry guards the durable registry the CI
+// durable-smoke job depends on: unique names, resolvable by DurableFind,
+// and kill-both-brokers in the smoke subset.
+func TestDurableScenarioRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	smoke := 0
+	all := chaos.DurableAll()
+	if len(all) < 2 {
+		t.Fatalf("%d durable scenarios shipped, want >= 2", len(all))
+	}
+	for _, sc := range all {
+		if seen[sc.Name] {
+			t.Errorf("duplicate durable scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Smoke {
+			smoke++
+		}
+		if sc.KillAt <= 0 {
+			t.Errorf("durable scenario %q never kills the pair — not a dual-crash test", sc.Name)
+		}
+		if _, err := chaos.DurableFind(sc.Name); err != nil {
+			t.Errorf("DurableFind(%q): %v", sc.Name, err)
+		}
+	}
+	if smoke == 0 {
+		t.Error("no Smoke durable scenarios — the durable-smoke gate would run nothing")
+	}
+	if _, err := chaos.DurableFind("kill-both-brokers"); err != nil {
+		t.Errorf("kill-both-brokers missing from the registry: %v", err)
+	}
+	if _, err := chaos.DurableFind("no-such-scenario"); err == nil {
+		t.Error("DurableFind accepted an unknown name")
+	}
+}
+
 // TestGatewayScenarioRegistry guards the gateway registry the CI
 // gateway-smoke job depends on: unique names, resolvable by GatewayFind,
 // a non-empty smoke subset, and every scenario shipping thin clients.

@@ -44,9 +44,22 @@ type PublisherOptions struct {
 	// publishers use it to refresh a stale cached routing table and
 	// re-home the topic (package cluster).
 	OnWrongShard func(topic spec.TopicID, epoch uint64)
+	// DurableAcks makes Publish block until the broker answers with a
+	// PubAck — the broker's durable mode certifying the message reached
+	// stable storage. Only meaningful against a broker started with
+	// -durable; against an in-memory broker every Publish times out.
+	DurableAcks bool
+	// AckTimeout bounds how long a durable Publish waits for its PubAck;
+	// zero means DefaultAckTimeout.
+	AckTimeout time.Duration
 	// Logger receives operational events; nil means slog.Default.
 	Logger *slog.Logger
 }
+
+// DefaultAckTimeout is the durable Publish ack wait when
+// PublisherOptions.AckTimeout is zero: generous next to any plausible
+// group-commit interval, small enough that a dead broker fails fast.
+const DefaultAckTimeout = 5 * time.Second
 
 // Publisher is a proxy for a set of topics. Publish stamps and sends
 // messages to the current Primary; when its detector declares the Primary
@@ -66,8 +79,22 @@ type Publisher struct {
 	seqs       map[spec.TopicID]uint64
 	retained   map[spec.TopicID]*ringbuf.Ring[wire.Message]
 	topics     map[spec.TopicID]spec.Topic
+	// acks holds durable Publish calls parked on their PubAck, keyed by
+	// (topic, seq); the receive loops close the channel on arrival. Nil
+	// unless DurableAcks. Guarded by ackMu, NOT mu: the receive loop must
+	// be able to consume PubAcks while a Publish holds mu across a
+	// blocking send, or the two directions of the broker link deadlock
+	// against each other.
+	ackMu sync.Mutex
+	acks  map[ackKey]chan struct{}
 
 	failedOverCh chan struct{}
+}
+
+// ackKey identifies one durable publish awaiting its PubAck.
+type ackKey struct {
+	topic spec.TopicID
+	seq   uint64
 }
 
 // NewPublisher dials the brokers and returns a running publisher.
@@ -90,6 +117,12 @@ func NewPublisher(opts PublisherOptions) (*Publisher, error) {
 		retained:     make(map[spec.TopicID]*ringbuf.Ring[wire.Message], len(opts.Topics)),
 		topics:       make(map[spec.TopicID]spec.Topic, len(opts.Topics)),
 		failedOverCh: make(chan struct{}),
+	}
+	if opts.DurableAcks {
+		p.acks = make(map[ackKey]chan struct{})
+		if p.opts.AckTimeout <= 0 {
+			p.opts.AckTimeout = DefaultAckTimeout
+		}
 	}
 	for _, t := range opts.Topics {
 		if err := t.Validate(); err != nil {
@@ -146,6 +179,9 @@ func (p *Publisher) startRecvLoop(ctx context.Context, conn *transport.Conn) {
 			if f.Type == wire.TypeWrongShard && p.opts.OnWrongShard != nil {
 				p.opts.OnWrongShard(f.Topic, f.Epoch)
 			}
+			if f.Type == wire.TypePubAck {
+				p.ackDurable(f.Topic, f.Seq)
+			}
 		}
 	}()
 }
@@ -166,10 +202,17 @@ func dialHello(n transport.Network, addr, name string, role wire.Role) (*transpo
 // Publish creates the next message of the topic: stamps tc and the next
 // sequence number, retains a copy (evicting beyond Ni), and sends it to the
 // current broker. It returns the assigned sequence number.
+//
+// With DurableAcks set, Publish additionally blocks — outside the
+// publisher's lock, so concurrent publishes keep flowing — until the broker
+// answers with a PubAck certifying the message is on stable storage, or
+// AckTimeout passes. A timeout returns an error with the sequence number
+// still valid: the message may well be durable and in flight; only the
+// confirmation is missing.
 func (p *Publisher) Publish(topic spec.TopicID, payload []byte) (uint64, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if _, ok := p.topics[topic]; !ok {
+		p.mu.Unlock()
 		return 0, fmt.Errorf("client: publisher does not own topic %d", topic)
 	}
 	p.seqs[topic]++
@@ -182,10 +225,57 @@ func (p *Publisher) Publish(topic spec.TopicID, payload []byte) (uint64, error) 
 	if ring := p.retained[topic]; ring != nil {
 		ring.Push(m)
 	}
-	if err := p.conn.Send(&wire.Frame{Type: wire.TypePublish, Msg: m}); err != nil {
+	var ack chan struct{}
+	if p.acks != nil {
+		// Register before the send so the receive loop cannot see the
+		// PubAck before the waiter exists.
+		ack = make(chan struct{})
+		p.ackMu.Lock()
+		p.acks[ackKey{topic, m.Seq}] = ack
+		p.ackMu.Unlock()
+	}
+	err := p.conn.Send(&wire.Frame{Type: wire.TypePublish, Msg: m})
+	p.mu.Unlock()
+	if err != nil {
+		p.dropAck(topic, m.Seq)
 		return m.Seq, fmt.Errorf("client: publish: %w", err)
 	}
-	return m.Seq, nil
+	if ack == nil {
+		return m.Seq, nil
+	}
+	t := time.NewTimer(p.opts.AckTimeout)
+	defer t.Stop()
+	select {
+	case <-ack:
+		return m.Seq, nil
+	case <-t.C:
+		p.dropAck(topic, m.Seq)
+		return m.Seq, fmt.Errorf("client: no durable ack for topic %d seq %d within %v", topic, m.Seq, p.opts.AckTimeout)
+	}
+}
+
+// ackDurable releases the Publish call parked on (topic, seq), if any.
+// Duplicate PubAcks — e.g. a fail-over resend re-acked by the Backup —
+// find no waiter and are ignored. Runs on receive-loop goroutines and
+// deliberately takes only ackMu (see the acks field).
+func (p *Publisher) ackDurable(topic spec.TopicID, seq uint64) {
+	p.ackMu.Lock()
+	ack := p.acks[ackKey{topic, seq}]
+	delete(p.acks, ackKey{topic, seq})
+	p.ackMu.Unlock()
+	if ack != nil {
+		close(ack)
+	}
+}
+
+// dropAck deregisters an ack waiter that will never be satisfied.
+func (p *Publisher) dropAck(topic spec.TopicID, seq uint64) {
+	if p.acks == nil {
+		return
+	}
+	p.ackMu.Lock()
+	delete(p.acks, ackKey{topic, seq})
+	p.ackMu.Unlock()
 }
 
 // LastSeq returns the highest sequence number created for the topic.

@@ -784,6 +784,20 @@ func (e *Engine) Promote() {
 	e.cfg.HasBackup = false
 	for _, st := range e.topics {
 		st.replicate = false
+	}
+	e.ScheduleRecovery()
+}
+
+// ScheduleRecovery sweeps every Backup Buffer and queues a recovery
+// dispatch job for each non-discarded copy whose original was never
+// dispatched (Table 3, Recovery step 1: pruned entries are skipped, so a
+// message the failed Primary already dispatched is never re-dispatched).
+// Promote uses it during §IV-A fail-over; a durable broker restarting
+// from its on-disk log calls it directly after replaying messages and
+// prune records, without touching the replication setting. Callers hold
+// all lane locks, like Promote.
+func (e *Engine) ScheduleRecovery() {
+	for _, st := range e.topics {
 		st.backup.Do(func(idx uint64, ent entry) {
 			if ent.discard {
 				e.stats.recoverySkipped.Add(1)

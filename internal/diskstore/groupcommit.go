@@ -1,0 +1,273 @@
+// Group commit: a single committer goroutine owns the segmented log and
+// batches fsyncs off the broker's hot path. Sessions enqueue a record and
+// park on the returned Commit; the committer drains everything queued,
+// appends it, issues ONE fsync, and releases every waiter in the batch.
+// This resolves the package's concurrency contract ("not safe for
+// concurrent use; callers serialize") structurally: any number of
+// goroutines may call Enqueue/EnqueuePrune, and exactly one goroutine
+// ever touches the SegLog.
+package diskstore
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/wire"
+)
+
+// Commit is a handle to one enqueued record's durability. Wait blocks
+// until the fsync covering the record completes and reports its error.
+type Commit struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the record is on stable storage (or the commit
+// failed) and returns the outcome.
+func (c *Commit) Wait() error {
+	<-c.done
+	return c.err
+}
+
+func failedCommit(err error) *Commit {
+	c := &Commit{done: make(chan struct{}), err: err}
+	close(c.done)
+	return c
+}
+
+type commitRec struct {
+	msg   wire.Message
+	prune bool
+	topic spec.TopicID
+	seq   uint64
+	c     *Commit // nil for fire-and-forget prune records
+}
+
+// CommitterStats is a point-in-time snapshot for /metrics gauges.
+type CommitterStats struct {
+	Records  uint64 // records appended (messages + prunes)
+	Batches  uint64 // committer rounds completed
+	Fsyncs   uint64 // fsync syscalls issued
+	Pending  int64  // records enqueued but not yet committed
+	Segments int64  // live segment files
+	Bytes    int64  // bytes across live segments
+}
+
+// Committer serializes all writes to a SegLog behind a group-commit
+// protocol. interval <= 0 degenerates to SyncAlways: every record is
+// fsynced individually before its waiter releases (the slow bound the
+// paper's Table 1 argument rests on); interval > 0 spaces fsyncs at
+// least that far apart so concurrent publishers share one.
+type Committer struct {
+	log      *SegLog
+	interval time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []commitRec
+	closing bool
+	failed  error
+
+	done     chan struct{}
+	lastSync time.Time
+
+	records  atomic.Uint64
+	batches  atomic.Uint64
+	fsyncs   atomic.Uint64
+	pending  atomic.Int64
+	segments atomic.Int64
+	bytes    atomic.Int64
+}
+
+// NewCommitter takes ownership of log (including Close) and starts the
+// committer goroutine.
+func NewCommitter(log *SegLog, interval time.Duration) *Committer {
+	c := &Committer{log: log, interval: interval, done: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	c.segments.Store(int64(log.Segments()))
+	c.bytes.Store(log.Size())
+	go c.run()
+	return c
+}
+
+// Enqueue queues one message for append and returns the Commit to park
+// on. The caller must keep m.Payload unmodified until Wait returns.
+func (c *Committer) Enqueue(m wire.Message) *Commit {
+	cm := &Commit{done: make(chan struct{})}
+	c.mu.Lock()
+	if c.closing || c.failed != nil {
+		err := c.failed
+		if err == nil {
+			err = ErrClosed
+		}
+		c.mu.Unlock()
+		return failedCommit(err)
+	}
+	c.queue = append(c.queue, commitRec{msg: m, c: cm})
+	c.pending.Add(1)
+	c.cond.Signal()
+	c.mu.Unlock()
+	return cm
+}
+
+// EnqueuePrune queues a prune marker for (topic, seq) without a waiter:
+// prune records ride whichever batch commits next. Losing the very last
+// prunes in a crash is safe — replay then re-dispatches a message that
+// was already dispatched-but-not-yet-marked, which the subscriber-side
+// dedup absorbs; the Table 3 invariant (no *marked* prune re-dispatched)
+// still holds.
+func (c *Committer) EnqueuePrune(topic spec.TopicID, seq uint64) {
+	c.mu.Lock()
+	if c.closing || c.failed != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.queue = append(c.queue, commitRec{prune: true, topic: topic, seq: seq})
+	c.pending.Add(1)
+	c.cond.Signal()
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the committer's counters and log shape.
+func (c *Committer) Stats() CommitterStats {
+	return CommitterStats{
+		Records:  c.records.Load(),
+		Batches:  c.batches.Load(),
+		Fsyncs:   c.fsyncs.Load(),
+		Pending:  c.pending.Load(),
+		Segments: c.segments.Load(),
+		Bytes:    c.bytes.Load(),
+	}
+}
+
+// Close drains the queue, stops the committer, and closes the log.
+func (c *Committer) Close() error {
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		<-c.done
+		return nil
+	}
+	c.closing = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	<-c.done
+	return c.log.Close()
+}
+
+// Crash fail-stops the committer for fault injection: queued records are
+// dropped — their waiters release with ErrClosed — and no final drain or
+// sync happens. On-disk state is whatever earlier batches already wrote,
+// which is exactly what a process kill leaves behind. A batch the
+// committer goroutine is mid-way through still completes (a kill can land
+// just after a write as easily as just before).
+func (c *Committer) Crash() {
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		<-c.done
+		return
+	}
+	c.closing = true
+	dropped := c.queue
+	c.queue = nil
+	if c.failed == nil {
+		c.failed = ErrClosed
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	<-c.done
+	for i := range dropped {
+		if dropped[i].c != nil {
+			dropped[i].c.err = ErrClosed
+			close(dropped[i].c.done)
+		}
+	}
+	c.pending.Add(-int64(len(dropped)))
+	c.log.Close()
+}
+
+func (c *Committer) run() {
+	defer close(c.done)
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closing {
+			c.cond.Wait()
+		}
+		if len(c.queue) == 0 && c.closing {
+			c.mu.Unlock()
+			return
+		}
+		recs := c.queue
+		c.queue = nil
+		c.mu.Unlock()
+
+		err := c.appendAll(recs)
+		if c.interval > 0 {
+			// Hold the batch open for the rest of the fsync window so
+			// publishers arriving now share this sync instead of paying
+			// for their own.
+			if d := c.interval - time.Since(c.lastSync); d > 0 {
+				time.Sleep(d)
+			}
+			c.mu.Lock()
+			more := c.queue
+			c.queue = nil
+			c.mu.Unlock()
+			if len(more) > 0 {
+				if e := c.appendAll(more); err == nil {
+					err = e
+				}
+				recs = append(recs, more...)
+			}
+			if err == nil {
+				err = c.log.Sync()
+				c.fsyncs.Add(1)
+			}
+			c.lastSync = time.Now()
+		}
+		c.segments.Store(int64(c.log.Segments()))
+		c.bytes.Store(c.log.Size())
+		c.batches.Add(1)
+		for i := range recs {
+			if recs[i].c != nil {
+				recs[i].c.err = err
+				close(recs[i].c.done)
+			}
+		}
+		c.pending.Add(-int64(len(recs)))
+		if err != nil {
+			c.mu.Lock()
+			if c.failed == nil {
+				c.failed = err
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// appendAll writes the records; under per-record mode (interval <= 0)
+// each append is individually fsynced.
+func (c *Committer) appendAll(recs []commitRec) error {
+	var err error
+	for i := range recs {
+		if err != nil {
+			break
+		}
+		if recs[i].prune {
+			err = c.log.AppendPrune(recs[i].topic, recs[i].seq)
+		} else {
+			err = c.log.Append(recs[i].msg)
+		}
+		if err == nil {
+			c.records.Add(1)
+		}
+		if err == nil && c.interval <= 0 {
+			err = c.log.Sync()
+			c.fsyncs.Add(1)
+		}
+	}
+	return err
+}

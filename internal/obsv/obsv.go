@@ -163,6 +163,10 @@ const (
 	// checkers to prove recovery never re-dispatches a discarded entry.
 	StagePrune            // Backup Buffer entry discarded on the Primary's prune
 	StageRecoveryDispatch // recovery job dispatched from the Backup Buffer
+
+	// StageDurable fires when a publish reaches stable storage in the
+	// opt-in durable mode — the moment the PubAck becomes truthful.
+	StageDurable
 )
 
 // String returns the stage label.
@@ -188,6 +192,8 @@ func (s Stage) String() string {
 		return "prune"
 	case StageRecoveryDispatch:
 		return "recovery_dispatch"
+	case StageDurable:
+		return "durable"
 	default:
 		return fmt.Sprintf("Stage(%d)", int(s))
 	}
@@ -234,6 +240,7 @@ type BrokerMetrics struct {
 	StageQueueWait *Histogram // job enqueue → worker pop
 	StageDispatch  *Histogram // pop → all subscriber sends done
 	StageReplicate *Histogram // pop → replica send done
+	StageDurable   *Histogram // publish arrival → fsynced (durable mode only)
 	EndToEnd       *Histogram // broker arrival → dispatch completion
 
 	tracer atomic.Pointer[func(TraceEvent)]
@@ -246,6 +253,7 @@ func NewBrokerMetrics() *BrokerMetrics {
 		StageQueueWait: NewHistogram(),
 		StageDispatch:  NewHistogram(),
 		StageReplicate: NewHistogram(),
+		StageDurable:   NewHistogram(),
 		EndToEnd:       NewHistogram(),
 	}
 }
@@ -323,6 +331,7 @@ func (m *BrokerMetrics) WritePrometheus(w io.Writer, extra []Sample) error {
 		{"frame_stage_queue_wait_seconds", "Job enqueue to worker pop (EDF Job Queue wait).", m.StageQueueWait},
 		{"frame_stage_dispatch_seconds", "Worker pop to all subscriber sends done (Dispatcher).", m.StageDispatch},
 		{"frame_stage_replicate_seconds", "Worker pop to replica send done (Replicator).", m.StageReplicate},
+		{"frame_stage_durable_seconds", "Publish arrival to stable storage (durable mode only).", m.StageDurable},
 		{"frame_e2e_dispatch_seconds", "Broker arrival to dispatch completion.", m.EndToEnd},
 	}
 	for _, h := range hists {

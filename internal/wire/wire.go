@@ -65,8 +65,12 @@ const (
 	// shard does not own, carrying the broker's routing epoch so the client
 	// can detect a stale cached table and refresh (package cluster).
 	TypeWrongShard
+	// TypePubAck tells a publisher its (Topic, Seq) publish reached stable
+	// storage — sent only by brokers running the opt-in durable mode, after
+	// the group-commit fsync covering the record completes.
+	TypePubAck
 
-	maxType = TypeWrongShard
+	maxType = TypePubAck
 )
 
 // String returns a protocol-stable label for the type.
@@ -102,6 +106,8 @@ func (t Type) String() string {
 		return "ROUTE_RESP"
 	case TypeWrongShard:
 		return "WRONG_SHARD"
+	case TypePubAck:
+		return "PUB_ACK"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -168,7 +174,7 @@ type Frame struct {
 	// at the Primary, letting the Backup reconstruct deadlines on recovery.
 	ArrivedPrimary time.Duration
 
-	// Topic and Seq identify the target of Prune and Cancel frames.
+	// Topic and Seq identify the target of Prune, Cancel, and PubAck frames.
 	Topic spec.TopicID
 	Seq   uint64
 
@@ -232,7 +238,7 @@ func Encode(dst []byte, f *Frame) ([]byte, error) {
 	case TypeReplicate:
 		dst = encodeMessage(dst, &f.Msg)
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.ArrivedPrimary))
-	case TypePrune, TypeCancel:
+	case TypePrune, TypeCancel, TypePubAck:
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Topic))
 		dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
 	case TypePoll, TypePollReply:
@@ -312,7 +318,7 @@ func Decode(buf []byte) (*Frame, error) {
 	case TypeReplicate:
 		d.message(&f.Msg)
 		f.ArrivedPrimary = time.Duration(d.u64())
-	case TypePrune, TypeCancel:
+	case TypePrune, TypeCancel, TypePubAck:
 		f.Topic = spec.TopicID(d.u32())
 		f.Seq = d.u64()
 	case TypePoll, TypePollReply:

@@ -46,6 +46,7 @@ func TestRoundTripAllTypes(t *testing.T) {
 			{Primary: "shard1-primary:7003", Backup: ""}, // pair that lost its Backup
 		}},
 		{Type: TypeWrongShard, Topic: 42, Epoch: 3},
+		{Type: TypePubAck, Topic: 7, Seq: 88},
 	}
 	for _, f := range frames {
 		t.Run(f.Type.String(), func(t *testing.T) {
@@ -260,6 +261,8 @@ func randomFrame(rng *rand.Rand) *Frame {
 		return &Frame{Type: TypeRouteResp, Nonce: rng.Uint64(), Epoch: rng.Uint64(), Shards: shards}
 	case TypeWrongShard:
 		return &Frame{Type: TypeWrongShard, Topic: spec.TopicID(rng.Uint32()), Epoch: rng.Uint64()}
+	case TypePubAck:
+		return &Frame{Type: TypePubAck, Topic: spec.TopicID(rng.Uint32()), Seq: rng.Uint64()}
 	default:
 		n := rng.Intn(16)
 		topics := make([]spec.TopicID, 0, n)

@@ -62,7 +62,7 @@ func DecodeInto(buf []byte, f *Frame, mode DecodeMode) error {
 	case TypeReplicate:
 		d.messageInto(&f.Msg, payload, mode)
 		f.ArrivedPrimary = time.Duration(d.u64())
-	case TypePrune, TypeCancel:
+	case TypePrune, TypeCancel, TypePubAck:
 		f.Topic = spec.TopicID(d.u32())
 		f.Seq = d.u64()
 	case TypePoll, TypePollReply:
@@ -164,6 +164,14 @@ func AppendReplicateBody(dst []byte, m *Message, arrivedPrimary time.Duration) [
 // AppendPruneBody appends the body of a Prune frame for (topic, seq).
 func AppendPruneBody(dst []byte, topic spec.TopicID, seq uint64) []byte {
 	dst = append(dst, byte(TypePrune))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(topic))
+	return binary.LittleEndian.AppendUint64(dst, seq)
+}
+
+// AppendPubAckBody appends the body of a PubAck frame for (topic, seq),
+// the durable broker's "your publish is on stable storage" answer.
+func AppendPubAckBody(dst []byte, topic spec.TopicID, seq uint64) []byte {
+	dst = append(dst, byte(TypePubAck))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(topic))
 	return binary.LittleEndian.AppendUint64(dst, seq)
 }
