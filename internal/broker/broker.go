@@ -37,6 +37,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/spec"
 	"repro/internal/transport"
+	"repro/internal/transport/submit"
 	"repro/internal/wire"
 )
 
@@ -177,6 +178,23 @@ type Options struct {
 	// before parking, trading CPU for wakeup latency on latency-critical
 	// deployments (-busy-poll).
 	BusyPoll bool
+	// NoUring disables the kernel-batched egress submission backend
+	// (-uring=false): flushers keep the portable one-writev-per-connection
+	// path instead of sweeping every ready ring into a single io_uring
+	// submission. The zero value enables the backend — it degrades to the
+	// portable path automatically on kernels without io_uring, under
+	// seccomp policies that refuse it, or with FRAME_NO_URING set.
+	NoUring bool
+	// PinFlushers pins egress flusher i (and any escalation replacement
+	// taking over its ring) to CPU PinFlushers[i mod len] via LockOSThread
+	// + sched_setaffinity (-pin-flushers; Linux only, no-op elsewhere).
+	PinFlushers []int
+	// PinLanes pins the lane workers of dispatch lane i to CPU
+	// PinLanes[i mod len] (-pin-lanes; Linux only, no-op elsewhere). With
+	// PinFlushers on disjoint cores this parks the delivery threads and
+	// the egress writers on dedicated cores for the busy-poll
+	// configuration.
+	PinLanes []int
 	// Durable turns on the "ACK = durable" publish mode (-durable): every
 	// accepted publish is appended to a segmented log in LogDir through a
 	// group-commit writer, and the publisher's PubAck is sent only after
@@ -556,8 +574,10 @@ func New(opts Options) (*Broker, error) {
 	}
 	if b.egressOn() && opts.Flushers >= 0 {
 		b.pool = transport.NewFlusherPool(transport.FlusherPoolConfig{
-			Flushers: opts.Flushers,
-			BusyPoll: opts.BusyPoll,
+			Flushers:     opts.Flushers,
+			BusyPoll:     opts.BusyPoll,
+			KernelSubmit: !opts.NoUring,
+			PinCPUs:      opts.PinFlushers,
 		})
 	}
 	return b, nil
@@ -647,8 +667,20 @@ func (b *Broker) egressQueued() (queued, subs int) {
 }
 
 // EgressStats snapshots the aggregate egress counters across all subscriber
-// rings.
-func (b *Broker) EgressStats() transport.EgressStats { return b.egress.Snapshot() }
+// rings, merging in the flusher pool's kernel-submission counters so
+// WriteSyscalls totals every kernel crossing spent writing frames
+// (sequential writev calls + io_uring_enter calls).
+func (b *Broker) EgressStats() transport.EgressStats {
+	s := b.egress.Snapshot()
+	if b.pool != nil {
+		ps := b.pool.Stats()
+		s.SubmittedBatches = ps.Sweeps
+		s.SweepConns = ps.SweepConns
+		s.WriteSyscalls += ps.Syscalls
+		s.KernelSubmit = ps.Kernel
+	}
+	return s
+}
 
 // PeerStalls reports replication writes failed by the peer write-stall bound.
 func (b *Broker) PeerStalls() uint64 { return b.peerStalls.Load() }
@@ -713,11 +745,31 @@ func (b *Broker) scrapeGauges() []obsv.Sample {
 			Value: float64(b.peerStalls.Load()), Help: "Replication writes failed by the peer write-stall bound."},
 	)
 	if b.pool != nil {
+		ps := b.pool.Stats()
+		kernel := 0.0
+		if ps.Kernel {
+			kernel = 1
+		}
 		samples = append(samples,
 			obsv.Sample{Name: "frame_egress_flushers", Value: float64(b.pool.Size()),
 				Help: "Shared egress flusher goroutines (0 when per-subscriber writers are in use)."},
 			obsv.Sample{Name: "frame_egress_escalations_total", Counter: true,
 				Value: float64(b.pool.Escalations()), Help: "Replacement flushers spawned to route around wedged subscriber writes."},
+			obsv.Sample{Name: "frame_egress_uring", Value: kernel,
+				Help: "1 when the kernel-batched (io_uring) egress submission backend is active."},
+			obsv.Sample{Name: "frame_egress_submitted_batches_total", Counter: true,
+				Value: float64(ps.Sweeps), Help: "Kernel-batched sweep submissions (many connections per submission)."},
+			obsv.Sample{Name: "frame_egress_sweep_conns_total", Counter: true,
+				Value: float64(ps.SweepConns), Help: "Connection writes carried by kernel-batched sweeps (per-sweep batching = sweep_conns/submitted_batches)."},
+			obsv.Sample{Name: "frame_egress_write_syscalls_total", Counter: true,
+				Value: float64(es.WriteSyscalls + ps.Syscalls),
+				Help:  "Kernel crossings spent writing egress frames: sequential writev calls plus io_uring_enter calls."},
+		)
+	} else {
+		samples = append(samples,
+			obsv.Sample{Name: "frame_egress_write_syscalls_total", Counter: true,
+				Value: float64(es.WriteSyscalls),
+				Help:  "Kernel crossings spent writing egress frames: sequential writev calls plus io_uring_enter calls."},
 		)
 	}
 	for i, l := range b.lanes {
@@ -1262,6 +1314,12 @@ type workerScratch struct {
 // outside it. Lanes share nothing on this path, so GOMAXPROCS lanes drive
 // GOMAXPROCS cores without contending.
 func (b *Broker) workerLoop(laneIdx int) {
+	if cpus := b.opts.PinLanes; len(cpus) > 0 {
+		// Best effort: an offline or out-of-range CPU leaves this worker
+		// unpinned rather than dead. Workers of the same lane share a CPU
+		// slot, so a lane's cache footprint stays put.
+		_ = submit.Pin(cpus[laneIdx%len(cpus)])
+	}
 	lane := b.lanes[laneIdx]
 	qm := b.engine.QueueMeter()
 	// ready gates parking: work exists when the engine's lane has jobs or

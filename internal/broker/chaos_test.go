@@ -30,6 +30,19 @@ func soakBudget() time.Duration {
 // drain mode under -race without a separate harness.
 func soakBusyPoll() bool { return os.Getenv("FRAME_SOAK_BUSY_POLL") != "" }
 
+// soakNetwork picks the soak transport: the deterministic in-memory
+// network by default, real loopback TCP when FRAME_SOAK_TCP is set. TCP
+// conns carry file descriptors, so the TCP soak drives egress through the
+// kernel-batched io_uring submission backend wherever the kernel allows it
+// (falling back to sequential writev elsewhere) — this is how the nightly
+// busy-poll leg exercises the uring sweep/escalation paths under -race.
+func soakNetwork() (transport.Network, bool) {
+	if os.Getenv("FRAME_SOAK_TCP") != "" {
+		return &transport.TCP{DialTimeout: 2 * time.Second}, true
+	}
+	return transport.NewMem(), false
+}
+
 // chaosTopics spread across the lanes with retention deep enough that the
 // publisher's fail-over resend covers every message lost in the crash
 // window. All have Li = 0: the loss assertion is exact.
@@ -126,7 +139,7 @@ func runChaosCycle(t *testing.T, cycle int, rng *rand.Rand) {
 	for i, tp := range topics {
 		ids[i] = tp.ID
 	}
-	n := transport.NewMem()
+	n, tcp := soakNetwork()
 	clock := testClock()
 	cfg := core.FRAMEConfig(lanParams())
 	cfg.MessageBufferCap = 2048
@@ -151,8 +164,13 @@ func runChaosCycle(t *testing.T, cycle int, rng *rand.Rand) {
 		}
 		return b
 	}
-	backup := newBroker(RoleBackup, "backup", "primary")
-	primary := newBroker(RolePrimary, "primary", "backup")
+	listenPrimary, listenBackup := "primary", "backup"
+	if tcp {
+		listenPrimary, listenBackup = "127.0.0.1:0", "127.0.0.1:0"
+	}
+	backup := newBroker(RoleBackup, listenBackup, "pending")
+	primary := newBroker(RolePrimary, listenPrimary, backup.Addr())
+	backup.SetPeerAddr(primary.Addr())
 	backup.Start()
 	primary.Start()
 	primaryStopped := false
@@ -166,7 +184,7 @@ func runChaosCycle(t *testing.T, cycle int, rng *rand.Rand) {
 	log := newDeliveryLog()
 	sub, err := client.NewSubscriber(client.SubscriberOptions{
 		Name: "chaos-sub", Topics: ids,
-		BrokerAddrs: []string{"primary", "backup"},
+		BrokerAddrs: []string{primary.Addr(), backup.Addr()},
 		Network:     n, Clock: clock,
 		OnDeliver: log.record,
 		Logger:    quietLogger(),
@@ -178,7 +196,7 @@ func runChaosCycle(t *testing.T, cycle int, rng *rand.Rand) {
 
 	pub, err := client.NewPublisher(client.PublisherOptions{
 		Name: "chaos-pub", Topics: topics,
-		PrimaryAddr: "primary", BackupAddr: "backup",
+		PrimaryAddr: primary.Addr(), BackupAddr: backup.Addr(),
 		Network: n, Clock: clock, Detector: fastDetector(),
 		Logger: quietLogger(),
 	})
@@ -249,4 +267,12 @@ func runChaosCycle(t *testing.T, cycle int, rng *rand.Rand) {
 		}
 	}
 	log.checkNoDuplicates(t, cycle)
+	if tcp {
+		// Surface whether the promoted broker's egress actually ran kernel
+		// sweeps this cycle, so the nightly log shows which backend the TCP
+		// soak covered (sequential fallback on kernels without io_uring).
+		es := backup.EgressStats()
+		t.Logf("cycle %d: tcp egress: kernel=%v sweeps=%d write-syscalls=%d",
+			cycle, es.KernelSubmit, es.SubmittedBatches, es.WriteSyscalls)
+	}
 }

@@ -54,6 +54,14 @@ type OpointsOptions struct {
 	// not a noise dodge — a descheduled flusher can double a short cell's
 	// elapsed time on a loaded box.
 	Reps int
+	// Net selects the transport: "mem" (default) runs over the in-process
+	// network, "tcp" over real loopback sockets — the only way the kernel
+	// submission backend can engage, since Mem conns expose no fd.
+	Net string
+	// NoUring forces the sequential write path even over TCP, mirroring
+	// broker.Options.NoUring; the submit-compare mode uses it to measure
+	// both backends on identical traffic.
+	NoUring bool
 }
 
 func (o OpointsOptions) withDefaults() OpointsOptions {
@@ -78,6 +86,9 @@ func (o OpointsOptions) withDefaults() OpointsOptions {
 	if o.Reps == 0 {
 		o.Reps = 3
 	}
+	if o.Net == "" {
+		o.Net = "mem"
+	}
 	return o
 }
 
@@ -91,6 +102,15 @@ type OpointCell struct {
 	MsgsPer   float64 // delivered messages per second
 	MBPer     float64 // delivered payload megabytes per second
 	NsPerMsg  float64 // nanoseconds per delivered message
+	// SyscallsPer is egress write-syscalls per delivered message: the
+	// broker's sequential writev/resume calls plus (kernel backend) its
+	// io_uring_enter sweeps, over the cell's measurement window. The best
+	// (lowest) rep is kept, like NsPerMsg — both measure the operating
+	// point's floor, not a noisy average.
+	SyscallsPer float64
+	// Kernel reports whether the kernel submission backend carried sweeps
+	// during the cell (always false on the mem network).
+	Kernel bool
 }
 
 // OpointsResult is the grid outcome.
@@ -112,16 +132,28 @@ func RunOpoints(cfg Config, opts OpointsOptions) (*OpointsResult, error) {
 			if msgs < 24 {
 				msgs = 24
 			}
-			cfg.progress("opoints: payload=%dB fanout=%d msgs=%d reps=%d", payload, fanout, msgs, opts.Reps)
+			cfg.progress("opoints: payload=%dB fanout=%d msgs=%d reps=%d net=%s", payload, fanout, msgs, opts.Reps, opts.Net)
 			var best OpointCell
 			for rep := 0; rep < opts.Reps; rep++ {
 				cell, err := runOpointCell(payload, fanout, msgs, opts)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: opoints payload=%d fanout=%d: %w", payload, fanout, err)
 				}
-				if rep == 0 || cell.NsPerMsg < best.NsPerMsg {
+				if rep == 0 {
 					best = cell
+					continue
 				}
+				if cell.NsPerMsg < best.NsPerMsg {
+					syscalls, kernel := best.SyscallsPer, best.Kernel
+					best = cell
+					best.SyscallsPer, best.Kernel = syscalls, kernel
+				}
+				// Floors are tracked per axis: the rep with the best batching
+				// (fewest syscalls per message) is not always the fastest one.
+				if cell.SyscallsPer < best.SyscallsPer {
+					best.SyscallsPer = cell.SyscallsPer
+				}
+				best.Kernel = best.Kernel || cell.Kernel
 			}
 			res.Cells = append(res.Cells, best)
 		}
@@ -160,14 +192,27 @@ func runOpointCell(payload, fanout, msgs int, opts OpointsOptions) (OpointCell, 
 
 	start := time.Now()
 	clock := func() time.Duration { return time.Since(start) }
-	net := transport.NewMem()
+	var net transport.Network
+	listen := "primary"
+	switch opts.Net {
+	case "mem":
+		net = transport.NewMem()
+	case "tcp":
+		// Real loopback sockets: egress conns expose fds, so the flusher
+		// pool's kernel submission backend engages where the kernel allows.
+		net = &transport.TCP{DialTimeout: 2 * time.Second}
+		listen = "127.0.0.1:0"
+	default:
+		return OpointCell{}, fmt.Errorf("unknown net %q (want mem or tcp)", opts.Net)
+	}
 	b, err := broker.New(broker.Options{
 		Engine:     engineCfg,
 		Role:       broker.RolePrimary,
-		ListenAddr: "primary",
+		ListenAddr: listen,
 		Network:    net,
 		Clock:      clock,
 		Topics:     topics,
+		NoUring:    opts.NoUring,
 		// Lossless operating point: a full ring blocks dispatch instead of
 		// shedding, so every published message is eventually delivered and
 		// elapsed time measures capacity, not the loss policy.
@@ -204,6 +249,7 @@ func runOpointCell(payload, fanout, msgs int, opts OpointsOptions) (OpointCell, 
 	}
 
 	total := opts.Topics * perTopic
+	es0 := b.EgressStats()
 	begin := time.Now()
 	// One flat-out publisher: interval 0 means the only pacing is the
 	// backpressure the lossless pipeline itself applies.
@@ -225,17 +271,20 @@ func runOpointCell(payload, fanout, msgs int, opts OpointsOptions) (OpointCell, 
 		time.Sleep(time.Millisecond)
 	}
 	elapsed := time.Since(begin)
+	es1 := b.EgressStats()
 	delivered := total * fanout
 	perSec := float64(delivered) / elapsed.Seconds()
 	return OpointCell{
-		Payload:   payload,
-		Fanout:    fanout,
-		Published: total,
-		Delivered: delivered,
-		Elapsed:   elapsed,
-		MsgsPer:   perSec,
-		MBPer:     perSec * float64(payload) / (1 << 20),
-		NsPerMsg:  float64(elapsed.Nanoseconds()) / float64(delivered),
+		Payload:     payload,
+		Fanout:      fanout,
+		Published:   total,
+		Delivered:   delivered,
+		Elapsed:     elapsed,
+		MsgsPer:     perSec,
+		MBPer:       perSec * float64(payload) / (1 << 20),
+		NsPerMsg:    float64(elapsed.Nanoseconds()) / float64(delivered),
+		SyscallsPer: float64(es1.WriteSyscalls-es0.WriteSyscalls) / float64(delivered),
+		Kernel:      es1.KernelSubmit && es1.SubmittedBatches > es0.SubmittedBatches,
 	}, nil
 }
 
@@ -243,24 +292,24 @@ func runOpointCell(payload, fanout, msgs int, opts OpointsOptions) (OpointCell, 
 func (r *OpointsResult) Format() string {
 	var sb strings.Builder
 	fmt.Fprintln(&sb, "Operating points: lossless delivery capacity, payload × fan-out")
-	fmt.Fprintf(&sb, "%8s  %7s  %10s  %10s  %12s  %10s  %10s\n",
-		"payload", "fanout", "delivered", "elapsed", "msgs/sec", "MB/sec", "ns/msg")
+	fmt.Fprintf(&sb, "%8s  %7s  %10s  %10s  %12s  %10s  %10s  %13s  %6s\n",
+		"payload", "fanout", "delivered", "elapsed", "msgs/sec", "MB/sec", "ns/msg", "syscalls/msg", "uring")
 	for _, c := range r.Cells {
-		fmt.Fprintf(&sb, "%8d  %7d  %10d  %10v  %12.0f  %10.2f  %10.0f\n",
+		fmt.Fprintf(&sb, "%8d  %7d  %10d  %10v  %12.0f  %10.2f  %10.0f  %13.4f  %6v\n",
 			c.Payload, c.Fanout, c.Delivered, c.Elapsed.Round(time.Millisecond),
-			c.MsgsPer, c.MBPer, c.NsPerMsg)
+			c.MsgsPer, c.MBPer, c.NsPerMsg, c.SyscallsPer, c.Kernel)
 	}
 	return strings.TrimRight(sb.String(), "\n")
 }
 
 // WriteCSV stores one row per cell.
 func (r *OpointsResult) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "payload_bytes,fanout,published,delivered,elapsed_seconds,msgs_per_sec,mb_per_sec,ns_per_msg"); err != nil {
+	if _, err := fmt.Fprintln(w, "payload_bytes,fanout,published,delivered,elapsed_seconds,msgs_per_sec,mb_per_sec,ns_per_msg,syscalls_per_msg,kernel_submit"); err != nil {
 		return err
 	}
 	for _, c := range r.Cells {
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%.6f,%.1f,%.3f,%.1f\n",
-			c.Payload, c.Fanout, c.Published, c.Delivered, c.Elapsed.Seconds(), c.MsgsPer, c.MBPer, c.NsPerMsg); err != nil {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%.6f,%.1f,%.3f,%.1f,%.4f,%v\n",
+			c.Payload, c.Fanout, c.Published, c.Delivered, c.Elapsed.Seconds(), c.MsgsPer, c.MBPer, c.NsPerMsg, c.SyscallsPer, c.Kernel); err != nil {
 			return err
 		}
 	}
@@ -268,18 +317,29 @@ func (r *OpointsResult) WriteCSV(w io.Writer) error {
 }
 
 // WriteBenchJSON serializes the grid in the BenchRow shape BENCH_EGRESS.json
-// uses, one row per cell named Opoint/payload=N/fanout=M, so frame-benchdiff
-// gates BENCH_OPOINTS.json exactly like the Go benchmark baseline. ns_per_op
-// is nanoseconds per delivered message; bytes_per_op records the payload so
-// the baseline is self-describing (it is constant per cell, never a
+// uses, so frame-benchdiff gates BENCH_OPOINTS.json exactly like the Go
+// benchmark baseline. Each cell contributes two rows: Opoint/payload=N/
+// fanout=M with ns_per_op = nanoseconds per delivered message, and
+// OpointSyscalls/payload=N/fanout=M with ns_per_op = egress write syscalls
+// per delivered message — so syscall-batching regressions trip the same
+// gate that catches throughput regressions. bytes_per_op records the
+// payload so the baseline is self-describing (constant per cell, never a
 // regression axis).
 func (r *OpointsResult) WriteBenchJSON(w io.Writer) error {
-	rows := make([]BenchRow, 0, len(r.Cells))
+	rows := make([]BenchRow, 0, 2*len(r.Cells))
 	for _, c := range r.Cells {
 		rows = append(rows, BenchRow{
 			Name:       fmt.Sprintf("Opoint/payload=%d/fanout=%d", c.Payload, c.Fanout),
 			Iterations: int64(c.Delivered),
 			NsPerOp:    c.NsPerMsg,
+			BytesPerOp: float64(c.Payload),
+		})
+	}
+	for _, c := range r.Cells {
+		rows = append(rows, BenchRow{
+			Name:       fmt.Sprintf("OpointSyscalls/payload=%d/fanout=%d", c.Payload, c.Fanout),
+			Iterations: int64(c.Delivered),
+			NsPerOp:    c.SyscallsPer,
 			BytesPerOp: float64(c.Payload),
 		})
 	}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunOpointsSmallGrid runs a CI-sized two-cell sweep over the mem
+// network and checks the accounting every output format is built from.
+// Mem conns expose no fd, so the kernel flag must stay false and the
+// syscall meter must still report the sequential batching floor.
+func TestRunOpointsSmallGrid(t *testing.T) {
+	res, err := RunOpoints(Config{}, OpointsOptions{
+		Payloads: []int{64},
+		Fanouts:  []int{1, 8},
+		Messages: 32,
+		Reps:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Published != 32 {
+			t.Errorf("fanout %d: published %d, want 32", c.Fanout, c.Published)
+		}
+		if c.Delivered != c.Published*c.Fanout {
+			t.Errorf("fanout %d: delivered %d of %d (lossless mode allows no loss)",
+				c.Fanout, c.Delivered, c.Published*c.Fanout)
+		}
+		if c.NsPerMsg <= 0 || c.MsgsPer <= 0 {
+			t.Errorf("fanout %d: empty throughput cell %+v", c.Fanout, c)
+		}
+		if c.SyscallsPer <= 0 {
+			t.Errorf("fanout %d: syscalls/msg = %v, want > 0 on the sequential path", c.Fanout, c.SyscallsPer)
+		}
+		if c.Kernel {
+			t.Errorf("fanout %d: kernel submission reported over the mem network", c.Fanout)
+		}
+	}
+	// Batching amortizes the per-message syscall cost as fan-out grows:
+	// one writev covers a ring's worth of frames for each subscriber.
+	if res.Cells[1].SyscallsPer > res.Cells[0].SyscallsPer {
+		t.Errorf("syscalls/msg grew with fanout: %v -> %v",
+			res.Cells[0].SyscallsPer, res.Cells[1].SyscallsPer)
+	}
+
+	if got := res.Format(); !strings.Contains(got, "syscalls/msg") || !strings.Contains(got, "uring") {
+		t.Errorf("Format missing syscall columns:\n%s", got)
+	}
+	var csv, js strings.Builder
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 3 {
+		t.Errorf("CSV has %d lines, want header + 2 cells", got)
+	}
+	if !strings.Contains(csv.String(), "syscalls_per_msg") {
+		t.Error("CSV header missing syscalls_per_msg")
+	}
+	if err := res.WriteBenchJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := LoadBenchRows(strings.NewReader(js.String()))
+	if err != nil {
+		t.Fatalf("bench JSON does not round-trip through LoadBenchRows: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("bench JSON rows = %d, want 2 Opoint + 2 OpointSyscalls", len(rows))
+	}
+	for _, name := range []string{"Opoint/payload=64/fanout=8", "OpointSyscalls/payload=64/fanout=8"} {
+		if !strings.Contains(js.String(), name) {
+			t.Errorf("bench JSON missing row %s", name)
+		}
+	}
+}
+
+// TestRunOpointsRejectsUnknownNet covers the transport-selection error arm.
+func TestRunOpointsRejectsUnknownNet(t *testing.T) {
+	_, err := RunOpoints(Config{}, OpointsOptions{
+		Payloads: []int{64}, Fanouts: []int{1}, Messages: 24, Reps: 1,
+		Net: "carrier-pigeon",
+	})
+	if err == nil || !strings.Contains(err.Error(), "carrier-pigeon") {
+		t.Fatalf("unknown net accepted: %v", err)
+	}
+}
+
+// TestRunSubmitCompareSmallCell runs the backend comparison at CI size
+// over real loopback TCP with the ratio gate disabled (a shared runner
+// may deny io_uring, and the acceptance-scale gate runs in perf-smoke
+// through frame-bench -submit-compare).
+func TestRunSubmitCompareSmallCell(t *testing.T) {
+	res, err := RunSubmitCompare(Config{}, SubmitCompareOptions{
+		Payload:  64,
+		Fanout:   8,
+		Messages: 48,
+		Reps:     1,
+		MinRatio: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback.Kernel {
+		t.Error("NoUring run still reports kernel submission")
+	}
+	if res.Fallback.SyscallsPer <= 0 {
+		t.Errorf("fallback syscalls/msg = %v, want > 0", res.Fallback.SyscallsPer)
+	}
+	if res.Supported != res.Uring.Kernel {
+		t.Errorf("Supported = %v but uring cell Kernel = %v", res.Supported, res.Uring.Kernel)
+	}
+	if res.Supported && res.Ratio <= 0 {
+		t.Errorf("kernel backend ran but ratio = %v", res.Ratio)
+	}
+
+	got := res.Format()
+	for _, want := range []string{"uring", "fallback"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Format missing %q row:\n%s", want, got)
+		}
+	}
+	var csv strings.Builder
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 3 {
+		t.Errorf("CSV has %d lines, want header + 2 backends", got)
+	}
+}
+
+// TestRunSubmitCompareGate exercises the ratio gate's failure direction:
+// an impossible bar must fail on hosts where the kernel backend engages
+// and report itself skipped (no error) where it cannot.
+func TestRunSubmitCompareGate(t *testing.T) {
+	res, err := RunSubmitCompare(Config{}, SubmitCompareOptions{
+		Payload:  64,
+		Fanout:   8,
+		Messages: 48,
+		Reps:     1,
+		MinRatio: 1e9,
+	})
+	if res == nil {
+		t.Fatal("no result returned")
+	}
+	switch {
+	case res.Supported && err == nil:
+		t.Errorf("ratio %v passed an impossible 1e9x gate", res.Ratio)
+	case !res.Supported && err != nil:
+		t.Errorf("gate failed on a host without the kernel backend: %v", err)
+	case !res.Supported && res.MinRatio != 0:
+		t.Errorf("skipped gate still echoes MinRatio %v", res.MinRatio)
+	}
+}

@@ -1,0 +1,151 @@
+// Submit-compare rig: the kernel-batched egress backend vs the portable
+// sequential fallback on identical traffic, at the operating point where
+// syscall overhead dominates (small payloads, high fan-out — the 64B×64
+// cell of the opoints grid, per the broker-benchmarking literature in
+// PAPERS.md). The measurement is write syscalls per delivered message; the
+// acceptance gate is the batching ratio between the two backends, skipped
+// automatically on kernels where io_uring is unavailable.
+
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// SubmitCompareOptions parameterizes the backend comparison.
+type SubmitCompareOptions struct {
+	// Payload is the message payload in bytes; 0 means 64.
+	Payload int
+	// Fanout is the subscribers per message; 0 means 64.
+	Fanout int
+	// Messages is the published-message count per run; 0 means 1024.
+	Messages int
+	// Reps runs each backend this many times and keeps each floor; 0 means 3.
+	Reps int
+	// MinRatio is the acceptance gate: fail unless the fallback spends at
+	// least this many times more write syscalls per message than the uring
+	// backend. 0 means 4 (the ISSUE 10 bar); negative disables the gate.
+	// The gate is skipped (reported, not failed) when the kernel backend
+	// is unavailable on this host.
+	MinRatio float64
+}
+
+func (o SubmitCompareOptions) withDefaults() SubmitCompareOptions {
+	if o.Payload == 0 {
+		o.Payload = 64
+	}
+	if o.Fanout == 0 {
+		o.Fanout = 64
+	}
+	if o.Messages == 0 {
+		o.Messages = 1024
+	}
+	if o.Reps == 0 {
+		o.Reps = 3
+	}
+	if o.MinRatio == 0 {
+		o.MinRatio = 4
+	}
+	return o
+}
+
+// SubmitCompareResult holds both backends' cells and the batching ratio.
+type SubmitCompareResult struct {
+	Uring    OpointCell // kernel backend (TCP, io_uring sweeps)
+	Fallback OpointCell // sequential backend (TCP, one writev per egress batch)
+	// Ratio is Fallback.SyscallsPer / Uring.SyscallsPer — how many times
+	// fewer kernel crossings the batched backend spends per message.
+	Ratio float64
+	// Supported reports whether the kernel backend actually carried sweeps;
+	// false means the host lacks io_uring (or denies it) and the gate was
+	// skipped.
+	Supported bool
+	// MinRatio echoes the gate that was applied (0 when disabled).
+	MinRatio float64
+}
+
+// RunSubmitCompare measures one operating-point cell over real loopback TCP
+// with the kernel submission backend on and off, and gates on the write-
+// syscalls-per-message ratio.
+func RunSubmitCompare(cfg Config, opts SubmitCompareOptions) (*SubmitCompareResult, error) {
+	opts = opts.withDefaults()
+	base := OpointsOptions{
+		Payloads: []int{opts.Payload},
+		Fanouts:  []int{opts.Fanout},
+		Messages: opts.Messages,
+		Reps:     opts.Reps,
+		Net:      "tcp",
+	}
+	cfg.progress("submit-compare: payload=%dB fanout=%d msgs=%d — uring backend", opts.Payload, opts.Fanout, opts.Messages)
+	uring, err := RunOpoints(cfg, base)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: submit-compare uring run: %w", err)
+	}
+	cfg.progress("submit-compare: payload=%dB fanout=%d msgs=%d — sequential fallback", opts.Payload, opts.Fanout, opts.Messages)
+	base.NoUring = true
+	fallback, err := RunOpoints(cfg, base)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: submit-compare fallback run: %w", err)
+	}
+	res := &SubmitCompareResult{
+		Uring:     uring.Cells[0],
+		Fallback:  fallback.Cells[0],
+		Supported: uring.Cells[0].Kernel,
+		MinRatio:  opts.MinRatio,
+	}
+	if res.Uring.SyscallsPer > 0 {
+		res.Ratio = res.Fallback.SyscallsPer / res.Uring.SyscallsPer
+	}
+	if !res.Supported {
+		res.MinRatio = 0
+		return res, nil
+	}
+	if opts.MinRatio > 0 && res.Ratio < opts.MinRatio {
+		return res, fmt.Errorf(
+			"experiments: submit-compare: uring %.4f vs fallback %.4f syscalls/msg = %.1fx, below the %.1fx gate",
+			res.Uring.SyscallsPer, res.Fallback.SyscallsPer, res.Ratio, opts.MinRatio)
+	}
+	return res, nil
+}
+
+// Format renders the comparison.
+func (r *SubmitCompareResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Kernel-batched submission vs sequential fallback: payload=%dB fanout=%d (TCP loopback)\n",
+		r.Uring.Payload, r.Uring.Fanout)
+	fmt.Fprintf(&sb, "%10s  %13s  %10s  %12s  %10s\n", "backend", "syscalls/msg", "ns/msg", "msgs/sec", "elapsed")
+	row := func(name string, c OpointCell) {
+		fmt.Fprintf(&sb, "%10s  %13.4f  %10.0f  %12.0f  %10v\n",
+			name, c.SyscallsPer, c.NsPerMsg, c.MsgsPer, c.Elapsed.Round(time.Millisecond))
+	}
+	row("uring", r.Uring)
+	row("fallback", r.Fallback)
+	switch {
+	case !r.Supported:
+		fmt.Fprintf(&sb, "kernel backend unavailable on this host; ratio gate skipped")
+	case r.MinRatio > 0:
+		fmt.Fprintf(&sb, "ratio: %.1fx fewer write syscalls per message with the kernel backend (gate ≥%.1fx)", r.Ratio, r.MinRatio)
+	default:
+		fmt.Fprintf(&sb, "ratio: %.1fx fewer write syscalls per message with the kernel backend (gate disabled)", r.Ratio)
+	}
+	return sb.String()
+}
+
+// WriteCSV stores one row per backend.
+func (r *SubmitCompareResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "backend,payload_bytes,fanout,delivered,syscalls_per_msg,ns_per_msg,msgs_per_sec,kernel_submit"); err != nil {
+		return err
+	}
+	row := func(name string, c OpointCell) error {
+		_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%.4f,%.1f,%.1f,%v\n",
+			name, c.Payload, c.Fanout, c.Delivered, c.SyscallsPer, c.NsPerMsg, c.MsgsPer, c.Kernel)
+		return err
+	}
+	if err := row("uring", r.Uring); err != nil {
+		return err
+	}
+	return row("fallback", r.Fallback)
+}

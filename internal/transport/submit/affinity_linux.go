@@ -1,0 +1,32 @@
+//go:build linux
+
+package submit
+
+import (
+	"fmt"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// Pin wires the calling goroutine to one CPU: it locks the goroutine to
+// its OS thread and then sched_setaffinity's that thread to cpu. The
+// thread stays locked for the goroutine's lifetime (flushers and lane
+// workers run forever, so the thread is theirs anyway). CPUs up to 1023
+// are addressable; out-of-range or offline CPUs return an error and
+// leave affinity unchanged (the thread stays locked — harmless for the
+// long-lived loops this serves).
+func Pin(cpu int) error {
+	if cpu < 0 || cpu >= 1024 {
+		return fmt.Errorf("submit: cpu %d out of range", cpu)
+	}
+	runtime.LockOSThread()
+	var mask [16]uint64
+	mask[cpu/64] = 1 << (uint(cpu) % 64)
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return fmt.Errorf("submit: sched_setaffinity(cpu %d): %w", cpu, errno)
+	}
+	return nil
+}

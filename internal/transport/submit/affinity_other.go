@@ -1,0 +1,8 @@
+//go:build !linux
+
+package submit
+
+// Pin is a documented no-op off Linux: the -pin-flushers/-pin-lanes
+// knobs parse everywhere but only take effect where sched_setaffinity
+// exists.
+func Pin(cpu int) error { return nil }

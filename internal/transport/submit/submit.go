@@ -1,0 +1,92 @@
+// Package submit batches socket writes into single kernel submissions.
+//
+// PR 8's flusher pool made egress cost O(flushers) *wakeups*: one writer
+// goroutine sweeps many subscriber rings per wakeup. But each swept ring
+// still paid one write syscall, so a sweep over N hot connections crossed
+// the kernel N times — the syscall overhead the broker-comparison studies
+// (PAPERS.md) show dominating small-payload high-fanout operating points.
+// This package closes that gap: a flusher queues one vectored write per
+// swept connection into a Ring and submits the whole sweep with a single
+// io_uring_enter, making egress O(flushers) syscalls per sweep.
+//
+// The Linux backend drives raw io_uring (mmap'd SQ/CQ rings, no
+// dependencies beyond the syscall package): each queued write becomes one
+// IORING_OP_SENDMSG SQE carrying the connection's iovec chain with
+// MSG_DONTWAIT | MSG_NOSIGNAL. DONTWAIT is the load-bearing flag — a plain
+// WRITEV SQE on a socket whose buffer is full parks inside the kernel until
+// the peer drains, which would let one wedged subscriber head-of-line-block
+// the completion harvest for every batch-mate. With DONTWAIT the kernel
+// executes every SQE inline during the submit call and a full socket
+// completes immediately with EAGAIN in its CQE, so the caller gets one
+// result per connection from one syscall, then routes only the stragglers
+// (EAGAIN, short writes) through its ordinary blocking path where the
+// existing write-stall deadlines and flusher escalation apply.
+//
+// On non-Linux builds, pre-io_uring kernels, or under seccomp policies
+// that refuse io_uring_setup, NewRing fails and callers keep the portable
+// sequential-writev path with today's exact semantics. FRAME_NO_URING=1
+// forces that fallback everywhere (the CI portable leg).
+package submit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// IOVMax is the largest iovec count one queued write may carry — the
+// kernel's UIO_MAXIOV bound on a single writev/sendmsg. The transport's
+// egress layer derives its per-connection batch clamp from this constant
+// (two iovecs per frame: length prefix + body), so a collected batch can
+// always be submitted as one SQE; Add rejects anything larger and the
+// caller must fall back to a sequential write for that connection.
+const IOVMax = 1024
+
+// NoUringEnv is the environment variable that force-disables the kernel
+// submission backend when set to any non-empty value, pinning every
+// flusher to the portable sequential path. CI runs a matrix leg with it
+// set so the fallback stays covered on every PR.
+const NoUringEnv = "FRAME_NO_URING"
+
+// Result is the completion of one queued write.
+type Result struct {
+	// N is the byte count the kernel wrote; it may be short of the queued
+	// total (socket buffer filled mid-write) — the caller resumes the
+	// remainder on its sequential path.
+	N int
+	// Errno is zero on success. EAGAIN means the socket buffer was full
+	// and nothing was written; any other value is a hard write error
+	// (EPIPE, ECONNRESET, EBADF, ...) and the connection is dead.
+	Errno syscall.Errno
+}
+
+// ParseCPUList parses a taskset-style CPU list ("0-3,8,10-11") into the
+// expanded slice of CPU indices, preserving order and duplicates as
+// written. An empty or all-whitespace string parses to nil (no pinning).
+func ParseCPUList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var cpus []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		lo, hi, found := strings.Cut(part, "-")
+		a, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil || a < 0 {
+			return nil, fmt.Errorf("submit: bad CPU list entry %q", part)
+		}
+		b := a
+		if found {
+			b, err = strconv.Atoi(strings.TrimSpace(hi))
+			if err != nil || b < a {
+				return nil, fmt.Errorf("submit: bad CPU range %q", part)
+			}
+		}
+		for c := a; c <= b; c++ {
+			cpus = append(cpus, c)
+		}
+	}
+	return cpus, nil
+}

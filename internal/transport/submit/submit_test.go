@@ -1,0 +1,41 @@
+package submit
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"", nil, false},
+		{"  ", nil, false},
+		{"0", []int{0}, false},
+		{"0-3", []int{0, 1, 2, 3}, false},
+		{"0-2,8,10-11", []int{0, 1, 2, 8, 10, 11}, false},
+		{" 4 , 6 - 7 ", []int{4, 6, 7}, false},
+		{"3-1", nil, true},
+		{"-1", nil, true},
+		{"a", nil, true},
+		{"1,,2", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseCPUList(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseCPUList(%q): want error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseCPUList(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseCPUList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+//go:build !linux || !(amd64 || arm64 || riscv64 || loong64)
+
+package submit
+
+import (
+	"fmt"
+	"net"
+)
+
+// Ring is the portable stub: NewRing always fails, so callers stay on
+// their sequential write path. The methods exist only so code that holds
+// a *Ring compiles everywhere; none of them can be reached with a nil
+// guard in place.
+type Ring struct{}
+
+// NewRing reports that kernel-batched submission is unavailable on this
+// platform.
+func NewRing(entries int) (*Ring, error) {
+	return nil, fmt.Errorf("submit: kernel-batched submission requires linux io_uring")
+}
+
+// Add is unreachable on this platform (NewRing never succeeds).
+func (r *Ring) Add(fd int, bufs net.Buffers) bool { return false }
+
+// Flush is unreachable on this platform (NewRing never succeeds).
+func (r *Ring) Flush() ([]Result, int, error) {
+	return nil, 0, fmt.Errorf("submit: no kernel backend")
+}
+
+// Pending is unreachable on this platform (NewRing never succeeds).
+func (r *Ring) Pending() int { return 0 }
+
+// Close is a no-op on this platform.
+func (r *Ring) Close() {}
+
+// DupConnFD always reports no usable fd on this platform.
+func DupConnFD(nc net.Conn) int { return -1 }
+
+// CloseFD is a no-op on this platform.
+func CloseFD(fd int) {}

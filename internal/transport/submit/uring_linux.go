@@ -1,0 +1,386 @@
+//go:build linux && (amd64 || arm64 || riscv64 || loong64)
+
+package submit
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// io_uring syscall numbers are arch-uniform: the interface landed after
+// the asm-generic unification, so 425/426 hold on every Linux port.
+const (
+	sysIoUringSetup = 425
+	sysIoUringEnter = 426
+
+	offSQRing = 0x0
+	offCQRing = 0x8000000
+	offSQEs   = 0x10000000
+
+	enterGetEvents = 1 << 0
+
+	opNop     = 0
+	opSendmsg = 9
+)
+
+// ioSqringOffsets / ioCqringOffsets / ioUringParams mirror the UAPI
+// structs handed back by io_uring_setup (include/uapi/linux/io_uring.h).
+type ioSqringOffsets struct {
+	head        uint32
+	tail        uint32
+	ringMask    uint32
+	ringEntries uint32
+	flags       uint32
+	dropped     uint32
+	array       uint32
+	resv1       uint32
+	resv2       uint64
+}
+
+type ioCqringOffsets struct {
+	head        uint32
+	tail        uint32
+	ringMask    uint32
+	ringEntries uint32
+	overflow    uint32
+	cqes        uint32
+	flags       uint32
+	resv1       uint32
+	resv2       uint64
+}
+
+type ioUringParams struct {
+	sqEntries    uint32
+	cqEntries    uint32
+	flags        uint32
+	sqThreadCPU  uint32
+	sqThreadIdle uint32
+	features     uint32
+	wqFd         uint32
+	resv         [3]uint32
+	sqOff        ioSqringOffsets
+	cqOff        ioCqringOffsets
+}
+
+// sqe is the 64-byte submission queue entry (fields this backend uses,
+// padding for the rest).
+type sqe struct {
+	opcode      uint8
+	flags       uint8
+	ioprio      uint16
+	fd          int32
+	off         uint64
+	addr        uint64
+	len         uint32
+	opFlags     uint32
+	userData    uint64
+	bufIndex    uint16
+	personality uint16
+	spliceFdIn  int32
+	pad         [2]uint64
+}
+
+// cqe is the 16-byte completion queue entry.
+type cqe struct {
+	userData uint64
+	res      int32
+	flags    uint32
+}
+
+// Ring is one io_uring instance plus the scratch to assemble a sweep.
+// A Ring belongs to exactly one goroutine (each flusher owns its own);
+// none of its methods are safe for concurrent use.
+type Ring struct {
+	fd        int
+	sqEntries uint32
+
+	sqMem  []byte
+	cqMem  []byte
+	sqeMem []byte
+
+	sqHead  *uint32
+	sqTail  *uint32
+	sqMask  *uint32
+	sqArray []uint32
+	cqHead  *uint32
+	cqTail  *uint32
+	cqMask  *uint32
+	sqes    []sqe
+	cqes    []cqe
+
+	// Sweep assembly. iovs is a shared arena so Add never allocates in
+	// steady state; entries record arena ranges (not pointers) because
+	// append may relocate the arena between Adds. Msghdrs are built at
+	// Flush time, once the arena is final.
+	iovs []syscall.Iovec
+	hdrs []syscall.Msghdr
+	ents []rentry
+	res  []Result
+}
+
+type rentry struct {
+	fd  int
+	off int
+	n   int
+}
+
+func ptrAt(mem []byte, off uint32) *uint32 {
+	return (*uint32)(unsafe.Pointer(&mem[off]))
+}
+
+// NewRing sets up an io_uring instance with the given SQ depth and probes
+// it with a NOP round trip, so a successful return means the kernel (and
+// any seccomp policy in front of it) genuinely supports the interface.
+// Callers treat any error as "use the portable path".
+func NewRing(entries int) (*Ring, error) {
+	if os.Getenv(NoUringEnv) != "" {
+		return nil, fmt.Errorf("submit: kernel batching disabled by %s", NoUringEnv)
+	}
+	if entries <= 0 {
+		entries = 128
+	}
+	var p ioUringParams
+	rfd, _, errno := syscall.Syscall(sysIoUringSetup, uintptr(entries), uintptr(unsafe.Pointer(&p)), 0)
+	if errno != 0 {
+		return nil, fmt.Errorf("submit: io_uring_setup: %w", errno)
+	}
+	r := &Ring{fd: int(rfd), sqEntries: p.sqEntries}
+	sqSize := int(p.sqOff.array) + 4*int(p.sqEntries)
+	cqSize := int(p.cqOff.cqes) + 16*int(p.cqEntries)
+	var err error
+	r.sqMem, err = syscall.Mmap(r.fd, offSQRing, sqSize,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	if err == nil {
+		r.cqMem, err = syscall.Mmap(r.fd, offCQRing, cqSize,
+			syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	}
+	if err == nil {
+		r.sqeMem, err = syscall.Mmap(r.fd, offSQEs, 64*int(p.sqEntries),
+			syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	}
+	if err != nil {
+		r.Close()
+		return nil, fmt.Errorf("submit: io_uring mmap: %w", err)
+	}
+	r.sqHead = ptrAt(r.sqMem, p.sqOff.head)
+	r.sqTail = ptrAt(r.sqMem, p.sqOff.tail)
+	r.sqMask = ptrAt(r.sqMem, p.sqOff.ringMask)
+	r.sqArray = unsafe.Slice(ptrAt(r.sqMem, p.sqOff.array), p.sqEntries)
+	r.cqHead = ptrAt(r.cqMem, p.cqOff.head)
+	r.cqTail = ptrAt(r.cqMem, p.cqOff.tail)
+	r.cqMask = ptrAt(r.cqMem, p.cqOff.ringMask)
+	r.sqes = unsafe.Slice((*sqe)(unsafe.Pointer(&r.sqeMem[0])), p.sqEntries)
+	r.cqes = unsafe.Slice((*cqe)(unsafe.Pointer(&r.cqMem[p.cqOff.cqes])), p.cqEntries)
+	r.hdrs = make([]syscall.Msghdr, p.sqEntries)
+	if err := r.probe(); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// probe pushes one NOP through the ring: catches kernels that accept
+// io_uring_setup but refuse io_uring_enter (some seccomp profiles).
+func (r *Ring) probe() error {
+	tail := atomic.LoadUint32(r.sqTail)
+	idx := tail & *r.sqMask
+	r.sqes[idx] = sqe{opcode: opNop, userData: ^uint64(0)}
+	r.sqArray[idx] = idx
+	atomic.StoreUint32(r.sqTail, tail+1)
+	for {
+		_, _, errno := syscall.Syscall6(sysIoUringEnter, uintptr(r.fd), 1, 1, enterGetEvents, 0, 0)
+		if errno == syscall.EINTR {
+			continue
+		}
+		if errno != 0 {
+			return fmt.Errorf("submit: io_uring_enter probe: %w", errno)
+		}
+		break
+	}
+	head := atomic.LoadUint32(r.cqHead)
+	if atomic.LoadUint32(r.cqTail) == head {
+		return fmt.Errorf("submit: io_uring probe produced no completion")
+	}
+	c := r.cqes[head&*r.cqMask]
+	atomic.StoreUint32(r.cqHead, head+1)
+	if c.userData != ^uint64(0) || c.res != 0 {
+		return fmt.Errorf("submit: io_uring probe completion mismatch (res=%d)", c.res)
+	}
+	return nil
+}
+
+// Pending reports how many writes are queued for the next Flush.
+func (r *Ring) Pending() int { return len(r.ents) }
+
+// Add queues one vectored write on fd for the next Flush. It returns
+// false — queueing nothing — when bufs is empty or carries more than
+// IOVMax non-empty vectors (the caller must write that connection
+// sequentially; splitting one fd's frames across SQEs would unorder
+// them). The buffers must stay alive and unmodified until Flush returns.
+func (r *Ring) Add(fd int, bufs net.Buffers) bool {
+	off := len(r.iovs)
+	n := 0
+	for i := range bufs {
+		if len(bufs[i]) == 0 {
+			continue
+		}
+		r.iovs = append(r.iovs, syscall.Iovec{Base: &bufs[i][0], Len: uint64(len(bufs[i]))})
+		n++
+	}
+	if n == 0 || n > IOVMax {
+		r.iovs = r.iovs[:off]
+		return false
+	}
+	r.ents = append(r.ents, rentry{fd: fd, off: off, n: n})
+	return true
+}
+
+// Flush submits every queued write and blocks until the kernel has
+// completed all of them, returning one Result per Add (in Add order) and
+// the number of io_uring_enter calls spent. Because every SQE carries
+// MSG_DONTWAIT the kernel executes them inline: completions arrive from
+// the same syscall that submitted them, a full socket yields EAGAIN
+// instead of blocking, so Flush never waits on a slow peer. Sweeps wider
+// than the SQ depth are chunked across additional enters. The queue is
+// consumed: after Flush the ring is empty and ready for the next sweep.
+//
+// A non-nil error means the ring itself failed (not any one write) —
+// the caller should close the Ring, treat every zero-valued Result as
+// unsubmitted, and fall back to sequential writes.
+func (r *Ring) Flush() ([]Result, int, error) {
+	nent := len(r.ents)
+	r.res = r.res[:0]
+	for i := 0; i < nent; i++ {
+		r.res = append(r.res, Result{})
+	}
+	enters := 0
+	for done := 0; done < nent; {
+		chunk := nent - done
+		if chunk > int(r.sqEntries) {
+			chunk = int(r.sqEntries)
+		}
+		tail := atomic.LoadUint32(r.sqTail)
+		for i := 0; i < chunk; i++ {
+			ent := r.ents[done+i]
+			mh := &r.hdrs[i]
+			*mh = syscall.Msghdr{}
+			mh.Iov = &r.iovs[ent.off]
+			mh.Iovlen = uint64(ent.n)
+			idx := (tail + uint32(i)) & *r.sqMask
+			sq := &r.sqes[idx]
+			*sq = sqe{
+				opcode:   opSendmsg,
+				fd:       int32(ent.fd),
+				addr:     uint64(uintptr(unsafe.Pointer(mh))),
+				len:      1,
+				opFlags:  syscall.MSG_DONTWAIT | syscall.MSG_NOSIGNAL,
+				userData: uint64(done + i),
+			}
+			r.sqArray[idx] = idx
+		}
+		atomic.StoreUint32(r.sqTail, tail+uint32(chunk))
+		for harvested := 0; harvested < chunk; {
+			// Resubmit whatever the kernel has not consumed yet (EINTR can
+			// interrupt between the submit and wait halves of one enter).
+			toSubmit := atomic.LoadUint32(r.sqTail) - atomic.LoadUint32(r.sqHead)
+			_, _, errno := syscall.Syscall6(sysIoUringEnter, uintptr(r.fd),
+				uintptr(toSubmit), uintptr(chunk-harvested), enterGetEvents, 0, 0)
+			enters++
+			if errno != 0 && errno != syscall.EINTR {
+				r.reset()
+				return r.res, enters, fmt.Errorf("submit: io_uring_enter: %w", errno)
+			}
+			harvested += r.harvest()
+		}
+		done += chunk
+	}
+	// The iovec arena and msghdrs are reachable only through mmap'd SQEs
+	// (invisible to the GC) from tail-store to harvest; keep them alive
+	// past the last enter.
+	runtime.KeepAlive(r.iovs)
+	runtime.KeepAlive(r.hdrs)
+	r.reset()
+	return r.res, enters, nil
+}
+
+// harvest drains the completion queue into r.res, returning the number
+// of completions consumed.
+func (r *Ring) harvest() int {
+	head := atomic.LoadUint32(r.cqHead)
+	tail := atomic.LoadUint32(r.cqTail)
+	n := 0
+	for ; head != tail; head++ {
+		c := r.cqes[head&*r.cqMask]
+		if i := int(c.userData); i >= 0 && i < len(r.res) {
+			if c.res < 0 {
+				r.res[i] = Result{Errno: syscall.Errno(-c.res)}
+			} else {
+				r.res[i] = Result{N: int(c.res)}
+			}
+		}
+		n++
+	}
+	atomic.StoreUint32(r.cqHead, head)
+	return n
+}
+
+func (r *Ring) reset() {
+	r.iovs = r.iovs[:0]
+	r.ents = r.ents[:0]
+}
+
+// Close unmaps the rings and closes the ring fd. The Ring is unusable
+// afterwards.
+func (r *Ring) Close() {
+	if r.sqeMem != nil {
+		_ = syscall.Munmap(r.sqeMem)
+		r.sqeMem = nil
+	}
+	if r.cqMem != nil {
+		_ = syscall.Munmap(r.cqMem)
+		r.cqMem = nil
+	}
+	if r.sqMem != nil {
+		_ = syscall.Munmap(r.sqMem)
+		r.sqMem = nil
+	}
+	if r.fd >= 0 {
+		_ = syscall.Close(r.fd)
+		r.fd = -1
+	}
+}
+
+// DupConnFD returns a private dup of nc's socket fd, or -1 when nc does
+// not expose one (in-memory pipes, fault-injection wrappers, TLS). The
+// dup is owned by the caller (close with CloseFD) so a racing Conn.Close
+// can never recycle the fd number out from under an in-flight sweep.
+func DupConnFD(nc net.Conn) int {
+	sc, ok := nc.(syscall.Conn)
+	if !ok {
+		return -1
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return -1
+	}
+	dup := -1
+	_ = rc.Control(func(fd uintptr) {
+		d, _, errno := syscall.Syscall(syscall.SYS_FCNTL, fd, syscall.F_DUPFD_CLOEXEC, 0)
+		if errno == 0 {
+			dup = int(d)
+		}
+	})
+	return dup
+}
+
+// CloseFD closes an fd obtained from DupConnFD; negative fds are ignored.
+func CloseFD(fd int) {
+	if fd >= 0 {
+		_ = syscall.Close(fd)
+	}
+}

@@ -1,0 +1,403 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/transport/submit"
+	"repro/internal/wire"
+)
+
+// tcpPair returns a connected loopback TCP Conn pair. Unlike pipePair's
+// net.Pipe, both ends are real sockets exposing raw fds, so pooled egresses
+// over the sender ride the kernel-batched submission path when the host
+// kernel supports it.
+func tcpPair(t *testing.T) (sender, receiver *Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		nc  net.Conn
+		err error
+	}
+	acceptc := make(chan accepted, 1)
+	go func() {
+		nc, err := ln.Accept()
+		acceptc <- accepted{nc, err}
+	}()
+	cl, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := <-acceptc
+	if acc.err != nil {
+		cl.Close()
+		t.Fatal(acc.err)
+	}
+	sender, receiver = NewConn(cl), NewConn(acc.nc)
+	t.Cleanup(func() { sender.Close(); receiver.Close() })
+	return sender, receiver
+}
+
+// dispatchBuf builds a pooled FrameBuf holding one encoded Dispatch frame
+// carrying payload — the knob for making sweep batches wide enough to
+// overflow a small socket buffer.
+func dispatchBuf(topic spec.TopicID, seq uint64, payload []byte) *FrameBuf {
+	fb := GetFrameBuf()
+	fb.B = wire.AppendDispatchBody(fb.B[:0], &wire.Message{
+		Topic: topic, Seq: seq, Payload: payload,
+	}, 0)
+	return fb
+}
+
+func TestConsumeBuffers(t *testing.T) {
+	mk := func() net.Buffers {
+		return net.Buffers{[]byte("abcd"), []byte("ef"), []byte("ghij")}
+	}
+	cases := []struct {
+		n    int
+		want []string
+	}{
+		{0, []string{"abcd", "ef", "ghij"}},
+		{2, []string{"cd", "ef", "ghij"}},
+		{4, []string{"ef", "ghij"}}, // exactly the first buffer
+		{5, []string{"f", "ghij"}},  // partway into the second
+		{6, []string{"ghij"}},       // exactly two buffers
+		{9, []string{"j"}},          // one byte left
+		{10, []string{}},            // everything consumed
+	}
+	for _, tc := range cases {
+		got := consumeBuffers(mk(), tc.n)
+		if len(got) != len(tc.want) {
+			t.Fatalf("consumeBuffers(n=%d) = %d buffers, want %d", tc.n, len(got), len(tc.want))
+		}
+		for i := range got {
+			if string(got[i]) != tc.want[i] {
+				t.Fatalf("consumeBuffers(n=%d)[%d] = %q, want %q", tc.n, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestMaxEgressBatchClamp(t *testing.T) {
+	// Two iovecs per frame: the clamp must guarantee any batch fits in one
+	// vectored write / one SQE without splitting.
+	if MaxEgressBatch*2 != submit.IOVMax {
+		t.Fatalf("MaxEgressBatch = %d, want submit.IOVMax/2 = %d", MaxEgressBatch, submit.IOVMax/2)
+	}
+	sender, _ := pipePair(t)
+	e := NewEgress(sender, EgressConfig{Depth: 4 * MaxEgressBatch, MaxBatch: 10 * MaxEgressBatch, Shed: true})
+	defer func() { e.Close(); sender.Close(); e.Wait() }()
+	if got := cap(e.batch); got != MaxEgressBatch {
+		t.Fatalf("batch scratch capacity = %d, want clamped to MaxEgressBatch = %d", got, MaxEgressBatch)
+	}
+	if got := cap(e.vecs); got != 2*MaxEgressBatch {
+		t.Fatalf("vecs scratch capacity = %d, want %d", got, 2*MaxEgressBatch)
+	}
+}
+
+func TestWriteBuffersStickyAfterError(t *testing.T) {
+	sender, receiver := pipePair(t)
+	receiver.Close() // the peer is gone: the first write must fail
+	bufs := net.Buffers{[]byte{1, 2, 3, 4}}
+	err := sender.WriteBuffers(bufs, 1, 4)
+	if err == nil {
+		t.Fatal("WriteBuffers to a closed peer succeeded")
+	}
+	// The failure is sticky: later writes fail fast without touching the
+	// socket — a partial vectored write leaves the framing unknown.
+	if err2 := sender.WriteBuffers(net.Buffers{[]byte{5}}, 1, 1); err2 == nil {
+		t.Fatal("WriteBuffers after sticky error succeeded")
+	}
+	if err3 := sender.Send(&wire.Frame{Type: wire.TypePrune, Topic: 1, Seq: 1}); err3 == nil {
+		t.Fatal("Send after sticky error succeeded")
+	}
+}
+
+func TestWriteBuffersAfterCloseFailsFast(t *testing.T) {
+	sender, _ := pipePair(t)
+	sender.Close()
+	if err := sender.WriteBuffers(net.Buffers{[]byte{1}}, 1, 1); err == nil {
+		t.Fatal("WriteBuffers on a closed conn succeeded")
+	}
+}
+
+// TestKernelSweepDeliversManyConnsInOrder is the pooled-flusher ordering
+// contract over real sockets: with the kernel backend on, sweeps batch many
+// connections into single submissions, and per-connection frame order must
+// still hold. On kernels without io_uring (or with FRAME_NO_URING set) the
+// pool silently runs the sequential path and the ordering assertions still
+// apply; only the sweep-counter checks are gated.
+func TestKernelSweepDeliversManyConnsInOrder(t *testing.T) {
+	base := FrameBufRefs()
+	pool := NewFlusherPool(FlusherPoolConfig{Flushers: 2, KernelSubmit: true})
+	var meter EgressMeter
+
+	const conns = 8
+	const frames = 200
+	egresses := make([]*Egress, conns)
+	senders := make([]*Conn, conns)
+	got := make(chan error, conns)
+	for i := range egresses {
+		sender, receiver := tcpPair(t)
+		senders[i] = sender
+		egresses[i] = NewEgress(sender, EgressConfig{Depth: 64, Shed: false, Meter: &meter, Pool: pool})
+		if pool.Stats().Kernel && egresses[i].sfd < 0 {
+			t.Fatalf("egress %d over TCP got no submission fd with the kernel backend on", i)
+		}
+		go func(topic spec.TopicID, receiver *Conn) {
+			f := GetFrame()
+			defer PutFrame(f)
+			last := uint64(0)
+			for last < frames {
+				if err := receiver.RecvInto(f); err != nil {
+					got <- fmt.Errorf("topic %d after seq %d: %w", topic, last, err)
+					return
+				}
+				if f.Seq != last+1 {
+					got <- fmt.Errorf("topic %d: seq %d after %d", topic, f.Seq, last)
+					return
+				}
+				last = f.Seq
+			}
+			got <- nil
+		}(spec.TopicID(i+1), receiver)
+	}
+	for seq := uint64(1); seq <= frames; seq++ {
+		for i, e := range egresses {
+			if r := e.Enqueue(pruneBuf(spec.TopicID(i+1), seq), spec.TopicID(i+1), spec.LossUnbounded); r != EnqueueOK {
+				t.Fatalf("Enqueue(conn %d, seq %d) = %v", i, seq, r)
+			}
+		}
+	}
+	for range egresses {
+		select {
+		case err := <-got:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("receivers starved")
+		}
+	}
+	for i, e := range egresses {
+		e.Close()
+		senders[i].Close()
+		e.Wait()
+	}
+	pool.Close()
+
+	if refs := FrameBufRefs(); refs != base {
+		t.Fatalf("leaked %d FrameBuf references", refs-base)
+	}
+	if flushed := meter.Flushed.Load(); flushed != conns*frames {
+		t.Fatalf("Flushed = %d, want %d", flushed, conns*frames)
+	}
+	ps := pool.Stats()
+	if !ps.Kernel {
+		t.Logf("kernel backend unavailable on this host; sequential fallback verified instead")
+		return
+	}
+	if ps.Sweeps == 0 {
+		t.Fatal("kernel backend active but no sweeps were submitted")
+	}
+	if ps.SweepConns < ps.Sweeps {
+		t.Fatalf("SweepConns = %d < Sweeps = %d", ps.SweepConns, ps.Sweeps)
+	}
+	if ps.Syscalls < ps.Sweeps {
+		t.Fatalf("Syscalls = %d < Sweeps = %d: each sweep costs at least one enter", ps.Syscalls, ps.Sweeps)
+	}
+	t.Logf("sweeps=%d enters=%d conns-swept=%d (%.1f conns/sweep)",
+		ps.Sweeps, ps.Syscalls, ps.SweepConns, float64(ps.SweepConns)/float64(ps.Sweeps))
+}
+
+// TestKernelSweepShortWriteResume drives wide batches of jumbo frames into a
+// deliberately tiny socket buffer, so kernel submissions complete short (or
+// EAGAIN) and the flusher must resume each remainder on the sequential path
+// without tearing a frame. The receive side proves the byte stream stayed
+// intact: every frame decodes, in order, with its full payload.
+func TestKernelSweepShortWriteResume(t *testing.T) {
+	base := FrameBufRefs()
+	pool := NewFlusherPool(FlusherPoolConfig{Flushers: 1, KernelSubmit: true})
+	var meter EgressMeter
+
+	sender, receiver := tcpPair(t)
+	// Shrink the send buffer before traffic so a single 8KiB-payload batch
+	// overwhelms it (Linux doubles the value; still far below one batch).
+	// The receive buffer stays at its default: the reader drains eagerly,
+	// so short writes resume quickly instead of stalling on zero-window.
+	if tc, ok := sender.nc.(*net.TCPConn); ok {
+		_ = tc.SetWriteBuffer(4096)
+	}
+	e := NewEgress(sender, EgressConfig{Depth: 64, Shed: false, Meter: &meter, Pool: pool})
+
+	const frames = 64
+	payload := make([]byte, 8192)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	done := make(chan error, 1)
+	go func() {
+		f := GetFrame()
+		defer PutFrame(f)
+		for seq := uint64(1); seq <= frames; seq++ {
+			if err := receiver.RecvInto(f); err != nil {
+				done <- fmt.Errorf("seq %d: %w", seq, err)
+				return
+			}
+			if f.Msg.Seq != seq {
+				done <- fmt.Errorf("seq %d arrived, want %d", f.Msg.Seq, seq)
+				return
+			}
+			if len(f.Msg.Payload) != len(payload) {
+				done <- fmt.Errorf("seq %d: payload %d bytes, want %d", seq, len(f.Msg.Payload), len(payload))
+				return
+			}
+			for i, b := range f.Msg.Payload {
+				if b != payload[i] {
+					done <- fmt.Errorf("seq %d: payload corrupt at byte %d", seq, i)
+					return
+				}
+			}
+		}
+		done <- nil
+	}()
+	for seq := uint64(1); seq <= frames; seq++ {
+		if r := e.Enqueue(dispatchBuf(7, seq, payload), 7, spec.LossUnbounded); r != EnqueueOK {
+			t.Fatalf("Enqueue(seq %d) = %v", seq, r)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("receiver starved behind short writes")
+	}
+	e.Close()
+	sender.Close()
+	e.Wait()
+	pool.Close()
+	if refs := FrameBufRefs(); refs != base {
+		t.Fatalf("leaked %d FrameBuf references", refs-base)
+	}
+	if errs := meter.WriteErrs.Load(); errs != 0 {
+		t.Fatalf("WriteErrs = %d on a healthy connection", errs)
+	}
+}
+
+// TestKernelSweepEscalationIsolatesWedgedConn wedges one fd of a kernel-
+// submitted sweep — its socket buffer fills, the submission returns EAGAIN,
+// and the flusher parks in the sequential resume — while a batch-mate on
+// the same (only) flusher keeps producing. The mate's full-ring enqueues
+// must depose the stuck flusher and keep flowing through the replacement.
+func TestKernelSweepEscalationIsolatesWedgedConn(t *testing.T) {
+	base := FrameBufRefs()
+	pool := NewFlusherPool(FlusherPoolConfig{Flushers: 1, EscalateAfter: time.Millisecond, KernelSubmit: true})
+	var meter EgressMeter
+
+	wedgedSender, wedgedReceiver := tcpPair(t)
+	if tc, ok := wedgedSender.nc.(*net.TCPConn); ok {
+		_ = tc.SetWriteBuffer(4096)
+	}
+	if tc, ok := wedgedReceiver.nc.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(4096)
+	}
+	// The wedged receiver never reads: once both socket buffers fill, the
+	// sweep's write on this fd can make no progress.
+	wedged := NewEgress(wedgedSender, EgressConfig{Depth: 64, Shed: true, Meter: &meter, Pool: pool})
+
+	healthySender, healthyReceiver := tcpPair(t)
+	healthy := NewEgress(healthySender, EgressConfig{Depth: 4, Shed: true, Meter: &meter, Pool: pool})
+
+	payload := make([]byte, 8192)
+	for seq := uint64(1); seq <= 64; seq++ {
+		wedged.Enqueue(dispatchBuf(1, seq, payload), 1, spec.LossUnbounded)
+	}
+	// Wait for the flusher to enter the wedged write (kernel EAGAIN resume
+	// or plain sequential write, whichever path this host takes).
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.flushers[0].inFlight.Load() == 0 || pool.flushers[0].writing.Load() != wedged {
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never parked in the wedged write")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// The healthy subscriber: frames may be shed (Depth 4, a wedged
+	// flusher), but whatever arrives must arrive in order, and the sentinel
+	// enqueued after escalation must make it through the replacement.
+	var lastSeen atomic.Uint64
+	recvErr := make(chan error, 1)
+	go func() {
+		f := GetFrame()
+		defer PutFrame(f)
+		last := uint64(0)
+		for {
+			if err := healthyReceiver.RecvInto(f); err != nil {
+				recvErr <- fmt.Errorf("after seq %d: %w", last, err)
+				return
+			}
+			if f.Seq <= last {
+				recvErr <- fmt.Errorf("reordered: %d after %d", f.Seq, last)
+				return
+			}
+			last = f.Seq
+			lastSeen.Store(last)
+		}
+	}()
+	// Drive full-ring enqueues until one of them ages the wedged write past
+	// EscalateAfter and deposes the flusher.
+	seq := uint64(0)
+	deadline = time.Now().Add(5 * time.Second)
+	for pool.Escalations() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no escalation despite sustained full-ring enqueues behind a wedged write")
+		}
+		seq++
+		switch r := healthy.Enqueue(pruneBuf(2, seq), 2, spec.LossUnbounded); r {
+		case EnqueueOK, EnqueueShed:
+		default:
+			t.Fatalf("healthy Enqueue(%d) = %v", seq, r)
+		}
+	}
+	seq++
+	final := seq
+	if r := healthy.Enqueue(pruneBuf(2, final), 2, spec.LossUnbounded); r != EnqueueOK && r != EnqueueShed {
+		t.Fatalf("sentinel Enqueue(%d) = %v", final, r)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for lastSeen.Load() < final {
+		select {
+		case err := <-recvErr:
+			t.Fatal(err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sentinel seq %d starved behind the wedged batch-mate (got up to %d)",
+				final, lastSeen.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	healthy.Close()
+	healthySender.Close()
+	healthy.Wait()
+	// Unstick the deposed flusher: closing the peer fails the blocked write.
+	wedgedReceiver.Close()
+	wedged.Close()
+	wedgedSender.Close()
+	wedged.Wait()
+	pool.Close()
+	if refs := FrameBufRefs(); refs != base {
+		t.Fatalf("leaked %d FrameBuf references", refs-base)
+	}
+}
